@@ -1,0 +1,60 @@
+// Figure 1: CDF of the increase ratio of Job Completion Time (JCT)
+// relative to an ideal, zero-latency control plane — short jobs (< 1 GB)
+// vs long jobs — for a plain Pica8 P-3290, Hermes, Tango and ESPRES.
+//
+// Paper shape to reproduce: short jobs suffer ~1.5-2x at the median on
+// the plain switch while long jobs suffer only ~1.05-1.25x; Hermes stays
+// near 1x; Tango/ESPRES land in between with heavier tails.
+#include <cstdio>
+#include <map>
+
+#include "bench/sim_common.h"
+
+namespace {
+
+using namespace hermes;
+
+// Per-job JCT ratios vs the ideal run, split into (short, long).
+std::pair<std::vector<double>, std::vector<double>> jct_ratios(
+    const std::vector<sim::JobResult>& ideal,
+    const std::vector<sim::JobResult>& real) {
+  std::map<int, double> ideal_jct;
+  for (const auto& j : ideal) ideal_jct[j.job_id] = j.jct_s();
+  std::vector<double> short_ratios, long_ratios;
+  for (const auto& j : real) {
+    double base = ideal_jct.at(j.job_id);
+    if (base <= 0) continue;
+    double ratio = j.jct_s() / base;
+    (j.is_short ? short_ratios : long_ratios).push_back(ratio);
+  }
+  return {short_ratios, long_ratios};
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Figure 1: CDF of increase ratio of JCT (vs zero-latency control "
+      "plane)  [paper: Fig 1]");
+  std::printf(
+      "paper shape -- short jobs: plain switch ~1.5-2.0x median; long "
+      "jobs: ~1.05-1.25x; Hermes ~1x\n");
+
+  auto scenario = bench::facebook_scenario(/*k=*/8, /*job_count=*/200);
+  const tcam::SwitchModel& model = tcam::pica8_p3290();
+
+  auto ideal = bench::run_scenario(scenario, "perfect", model);
+
+  for (const char* kind : {"plain", "hermes", "tango", "espres"}) {
+    auto real = bench::run_scenario(scenario, kind, model);
+    auto [short_r, long_r] = jct_ratios(ideal.jobs, real.jobs);
+    const char* label = std::string(kind) == "plain" ? "Pica8 P-3290" : kind;
+    std::printf("\n%s  (moves=%d, rule installs=%zu)\n", label, real.moves,
+                real.rit_ms.size());
+    bench::print_summary_line("short-job JCT ratio", short_r, "x");
+    bench::print_cdf("short jobs: JCT increase ratio CDF", short_r, 10);
+    bench::print_summary_line("long-job JCT ratio", long_r, "x");
+    bench::print_cdf("long jobs: JCT increase ratio CDF", long_r, 10);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 11: time series of rule installation time over the first 1000
+// rules, for Tango, ESPRES and Hermes.
+//
+// Paper shape to reproduce: all grow slowly at first; after a few hundred
+// rules Tango and ESPRES diverge upward as their tables fill (ESPRES
+// worst — reordering alone; Tango slower growth thanks to aggregation,
+// most visible on the Facebook trace), while Hermes stays flat because
+// insertions always land in the small shadow table.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/sim_common.h"
+
+namespace {
+
+using namespace hermes;
+
+// Replays the first `count` inserts of the trace starting from an EMPTY
+// table (the figure studies growth from empty) and returns per-rule
+// install latency in ms.
+std::vector<double> first_rules(const char* kind,
+                                const workloads::RuleTrace& trace,
+                                std::size_t count) {
+  auto backend = baselines::make_backend(kind, tcam::pica8_p3290(), 4000);
+  workloads::RuleTrace inserts;
+  for (const auto& event : trace) {
+    if (event.mod.type != net::FlowModType::kInsert) continue;
+    inserts.push_back(event);
+    if (inserts.size() >= count) break;
+  }
+  return bench::replay(*backend, inserts);
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Figure 11: time series of rule installation time (first 1000 "
+      "rules)  [paper: Fig 11]");
+  for (const char* workload : {"Facebook", "Geant"}) {
+    auto scenario = std::string(workload) == "Facebook"
+                        ? bench::facebook_scenario()
+                        : bench::geant_scenario();
+    auto trace = bench::busiest_switch_trace(scenario);
+    auto tango = first_rules("tango", trace, 1000);
+    auto espres = first_rules("espres", trace, 1000);
+    auto hermes_ms = first_rules("hermes", trace, 1000);
+    std::size_t n = std::min({tango.size(), espres.size(),
+                              hermes_ms.size()});
+    std::printf("\n--- %s: install latency (ms) every 50th rule ---\n",
+                workload);
+    std::printf("  %6s %10s %10s %10s\n", "rule#", "Tango", "ESPRES",
+                "Hermes");
+    for (std::size_t i = 0; i < n; i += 50)
+      std::printf("  %6zu %10.3f %10.3f %10.3f\n", i, tango[i], espres[i],
+                  hermes_ms[i]);
+    // Aggregate growth indicator: mean latency in the last vs first 100.
+    auto mean_range = [](const std::vector<double>& v, std::size_t lo,
+                         std::size_t hi) {
+      double total = 0;
+      for (std::size_t i = lo; i < hi && i < v.size(); ++i) total += v[i];
+      return total / static_cast<double>(hi - lo);
+    };
+    std::printf("  growth (mean last100 / mean first100): Tango %.1fx, "
+                "ESPRES %.1fx, Hermes %.1fx\n",
+                mean_range(tango, n - 100, n) / mean_range(tango, 0, 100),
+                mean_range(espres, n - 100, n) / mean_range(espres, 0, 100),
+                mean_range(hermes_ms, n - 100, n) /
+                    mean_range(hermes_ms, 0, 100));
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shared helpers for the per-figure benchmark harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper: it
+// builds the workload, runs the systems under comparison, and prints the
+// same rows/series the paper plots. Absolute numbers depend on the
+// latency models; the *shape* (who wins, by what factor, where crossovers
+// fall) is the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/switch_backend.h"
+#include "sim/stats.h"
+#include "workloads/trace.h"
+
+namespace hermes::bench {
+
+/// Replays a timestamped control-plane trace through a backend, invoking
+/// tick() at `tick_every` so batches flush and Hermes epochs close.
+/// Returns the backend's RIT samples in milliseconds.
+inline std::vector<double> replay(baselines::SwitchBackend& sw,
+                                  const workloads::RuleTrace& trace,
+                                  Duration tick_every = from_millis(1)) {
+  sw.clear_rit_samples();
+  Time next_tick = tick_every;
+  for (const workloads::RuleEvent& event : trace) {
+    while (next_tick <= event.time) {
+      sw.tick(next_tick);
+      next_tick += tick_every;
+    }
+    sw.handle(event.time, event.mod);
+  }
+  Time end = trace.empty() ? tick_every : trace.back().time + tick_every;
+  for (; next_tick <= end + tick_every; next_tick += tick_every)
+    sw.tick(next_tick);
+  std::vector<double> ms;
+  ms.reserve(sw.rit_samples().size());
+  for (Duration d : sw.rit_samples()) ms.push_back(to_millis(d));
+  return ms;
+}
+
+inline std::vector<double> to_ms(const std::vector<Duration>& samples) {
+  std::vector<double> ms;
+  ms.reserve(samples.size());
+  for (Duration d : samples) ms.push_back(to_millis(d));
+  return ms;
+}
+
+/// Prints a paper-style CDF block: one "value probability" row per line.
+inline void print_cdf(const std::string& label,
+                      const std::vector<double>& samples, int points = 10) {
+  std::printf("  %s (n=%zu)\n", label.c_str(), samples.size());
+  for (auto [value, prob] : sim::cdf(samples, points))
+    std::printf("    %10.3f  %5.2f\n", value, prob);
+}
+
+inline void print_summary_line(const std::string& label,
+                               const std::vector<double>& samples,
+                               const std::string& unit) {
+  std::printf("  %s\n",
+              sim::format_summary(label, sim::summarize(samples), unit)
+                  .c_str());
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace hermes::bench

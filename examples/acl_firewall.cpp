@@ -1,0 +1,109 @@
+// ACL firewall example: Hermes over a multi-field ternary table.
+//
+// A firewall pushes ternary ACL entries (think src/dst/port bit-fields
+// packed into one 64-bit TCAM key) with frequent updates — e.g. reactive
+// block rules during an attack. Partial overlaps (Figure 5 (c)) are the
+// norm here, so Algorithm 1's cutting AND merging both engage.
+//
+//   $ ./acl_firewall [rules=3000] [rate=500]
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+#include "hermes/acl_hermes.h"
+#include "sim/stats.h"
+#include "tcam/switch_model.h"
+
+using namespace hermes;
+
+int main(int argc, char** argv) {
+  int count = argc > 1 ? std::atoi(argv[1]) : 3000;
+  double rate = argc > 2 ? std::atof(argv[2]) : 500.0;
+  std::printf("=== ACL firewall on Hermes (ternary matches, %d rules at "
+              "%.0f/s) ===\n\n",
+              count, rate);
+
+  core::AclConfig config;
+  config.guarantee = from_millis(5);
+  core::AclHermes acl(tcam::pica8_p3290(), 32768, config);
+  std::printf("shadow table: %d entries (5 ms guarantee on %s)\n\n",
+              acl.shadow_capacity(),
+              tcam::pica8_p3290().name().c_str());
+
+  // Key layout (64-bit): [src:24][dst:24][proto:4][port:12]. Every rule
+  // pins the source block (drawn from a pool of 64 monitored blocks), so
+  // rules overlap within a block but not across the table — the
+  // field-aligned structure real ACLs have. Partial overlaps (Figure
+  // 5 (c)) arise between block-wide rules and pinpoint rules.
+  constexpr std::uint64_t kSrcMask = 0xFFFFFF0000000000ull;
+  constexpr std::uint64_t kDstMask = 0x000000FFFFFF0000ull;
+  constexpr std::uint64_t kPortMask = 0x0000000000000FFFull;
+  std::mt19937_64 rng(11);
+  std::vector<std::uint64_t> blocks;
+  for (int b = 0; b < 256; ++b) blocks.push_back(rng() & kSrcMask);
+
+  Time now = 0;
+  Duration gap = from_seconds(1.0 / rate);
+  for (int i = 0; i < count; ++i) {
+    // Broader rules carry higher priority (the usual operator practice:
+    // broad blocks outrank point exceptions), which also keeps cutting
+    // bounded — a broad rule is never shredded by thousands of pinpoint
+    // rules beneath it.
+    std::uint64_t mask = kSrcMask;
+    int priority_base = 96;
+    switch (rng() % 4) {
+      case 0:  // block the whole source block
+        break;
+      case 1:  // source block -> destination block
+        mask |= kDstMask;
+        priority_base = 64;
+        break;
+      case 2:  // source block + port sweep
+        mask |= kPortMask;
+        priority_base = 64;
+        break;
+      default:  // pinpoint 5-tuple rule
+        mask = ~0ull;
+        priority_base = 0;
+        break;
+    }
+    std::uint64_t value = blocks[rng() % blocks.size()] |
+                          (rng() & ~kSrcMask);
+    core::TernaryRule rule{static_cast<net::RuleId>(i + 1),
+                           priority_base + static_cast<int>(rng() % 32),
+                           net::TernaryMatch(value, mask),
+                           (rng() % 3 == 0)
+                               ? net::Action{net::ActionType::kDrop, -1}
+                               : net::forward_to(static_cast<int>(rng() % 8))};
+    acl.insert(now, rule);
+    now += gap;
+    acl.tick(now);
+  }
+
+  std::vector<double> rit_ms;
+  for (Duration d : acl.rit_samples()) rit_ms.push_back(to_millis(d));
+  const core::AclStats& stats = acl.stats();
+  std::printf("%s\n",
+              sim::format_summary("ACL install latency",
+                                  sim::summarize(rit_ms), "ms")
+                  .c_str());
+  std::printf("pieces created: %llu (%.2f per rule), redundant drops: "
+              "%llu, migrations: %llu, un-partitions: %llu\n",
+              static_cast<unsigned long long>(stats.pieces),
+              static_cast<double>(stats.pieces) /
+                  static_cast<double>(stats.inserts),
+              static_cast<unsigned long long>(stats.redundant),
+              static_cast<unsigned long long>(stats.migrations),
+              static_cast<unsigned long long>(stats.unpartitions));
+  std::printf("guarantee violations: %llu of %llu inserts\n",
+              static_cast<unsigned long long>(stats.violations),
+              static_cast<unsigned long long>(stats.inserts));
+  std::printf("tables now: shadow %d, main %d entries\n",
+              acl.shadow_occupancy(), acl.main_occupancy());
+
+  auto verdict = acl.lookup(0x123456789ABCDEFull);
+  std::printf("\nsample lookup -> %s\n",
+              verdict ? net::to_string(verdict->action).c_str()
+                      : "miss (default policy applies)");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// BGP router example: the Sections 2.3 / 8.4 scenario.
+//
+// Feeds a synthetic BGPStream-style update feed through a RIB with
+// best-path selection; the resulting FIB changes go to the TCAM of (a) a
+// plain router and (b) a Hermes-managed router with a 5 ms guarantee.
+//
+//   $ ./bgp_router [seconds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/hermes_backend.h"
+#include "baselines/plain_switch.h"
+#include "sim/stats.h"
+#include "tcam/switch_model.h"
+#include "workloads/bgp.h"
+
+using namespace hermes;
+
+int main(int argc, char** argv) {
+  double seconds = argc > 1 ? std::atof(argv[1]) : 30.0;
+  std::printf("=== BGP router with Hermes (Equinix-Chicago-style feed, "
+              "%.0f s) ===\n\n",
+              seconds);
+
+  workloads::BgpFeedConfig feed_config = workloads::equinix_chicago();
+  feed_config.duration_s = seconds;
+  auto feed = workloads::bgp_feed(feed_config);
+
+  // RIB -> FIB: only best-path changes reach the TCAM.
+  workloads::Rib rib;
+  workloads::RuleTrace fib;
+  for (const auto& update : feed)
+    if (auto mod = rib.apply(update)) fib.push_back({update.time, *mod});
+  std::printf("BGP updates: %zu -> FIB changes: %zu (%.0f%% of RIB churn "
+              "percolates; FIB holds %zu prefixes)\n\n",
+              feed.size(), fib.size(), 100 * rib.fib_percolation_rate(),
+              rib.fib_size());
+
+  auto replay = [&](baselines::SwitchBackend& sw) {
+    Time tick = from_millis(1);
+    for (const auto& event : fib) {
+      while (tick <= event.time) {
+        sw.tick(tick);
+        tick += from_millis(1);
+      }
+      sw.handle(event.time, event.mod);
+    }
+    std::vector<double> ms;
+    for (Duration d : sw.rit_samples()) ms.push_back(to_millis(d));
+    return ms;
+  };
+
+  baselines::PlainSwitch plain(tcam::pica8_p3290(), 32768);
+  auto plain_ms = replay(plain);
+  std::printf("plain router:  %s\n",
+              sim::format_summary("FIB install", sim::summarize(plain_ms),
+                                  "ms")
+                  .c_str());
+
+  core::HermesConfig config;
+  config.guarantee = from_millis(5);
+  baselines::HermesBackend hermes_router(tcam::pica8_p3290(), 32768,
+                                         config);
+  auto hermes_ms = replay(hermes_router);
+  std::printf("Hermes router: %s\n",
+              sim::format_summary("FIB install", sim::summarize(hermes_ms),
+                                  "ms")
+                  .c_str());
+  const auto& stats = hermes_router.agent().stats();
+  std::printf("\nHermes internals: %llu guaranteed, %llu straight to main "
+              "(lowest-priority appends), %llu migrations, %llu "
+              "violations\n",
+              static_cast<unsigned long long>(stats.guaranteed_inserts),
+              static_cast<unsigned long long>(stats.main_inserts),
+              static_cast<unsigned long long>(stats.migrations),
+              static_cast<unsigned long long>(stats.violations));
+  std::printf("note: deletions and next-hop modifies are cheap on both "
+              "(Section 2.1); the win concentrates in the bursty insert "
+              "tail (>1000 upd/s episodes)\n");
+  return 0;
+}

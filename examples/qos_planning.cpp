@@ -1,0 +1,72 @@
+// QoS planning example: the Section 7 operator workflow.
+//
+// Uses QoSOverheads() to chart the guarantee <-> TCAM-cost trade-off on
+// every supported switch, then configures the chosen guarantee, inspects
+// the returned burst budget (Equation 2), and exercises ModQoSConfig.
+//
+//   $ ./qos_planning
+#include <cstdio>
+
+#include "hermes/qos_api.h"
+#include "tcam/switch_model.h"
+
+using namespace hermes;
+
+int main() {
+  std::printf("=== Planning TCAM QoS with the Section 7 API ===\n\n");
+
+  core::QoSManager manager;
+  struct Entry {
+    core::SwitchId id;
+    const tcam::SwitchModel* model;
+    int capacity;
+  };
+  const Entry fleet[] = {{1, &tcam::pica8_p3290(), 4096},
+                         {2, &tcam::dell_8132f(), 2048},
+                         {3, &tcam::hp_5406zl(), 3072}};
+  for (const Entry& e : fleet)
+    manager.register_switch(e.id, *e.model, e.capacity);
+
+  // 1. Explore: what does each guarantee cost on each switch?
+  std::printf("QoSOverheads(switch, guarantee) — %% of TCAM spent:\n");
+  std::printf("  %-14s", "guarantee");
+  for (const Entry& e : fleet) std::printf(" %16s", e.model->name().c_str());
+  std::printf("\n");
+  for (double ms : {0.5, 1.0, 2.0, 5.0, 10.0, 20.0}) {
+    std::printf("  %9.1f ms ", ms);
+    for (const Entry& e : fleet) {
+      double overhead =
+          manager.QoSOverheads(e.id, from_millis(ms), core::match_all());
+      if (overhead < 0)
+        std::printf(" %15s%%", "infeasible");
+      else
+        std::printf(" %15.2f%%", overhead * 100);
+    }
+    std::printf("\n");
+  }
+
+  // 2. Commit: 5 ms on the Pica8, scoped to the data-center prefix space.
+  auto qos = manager.CreateTCAMQoS(
+      1, from_millis(5),
+      core::match_prefix_within(*net::Prefix::parse("10.0.0.0/8")));
+  if (!qos) return 1;
+  std::printf("\nCreateTCAMQoS(pica8, 5ms, within 10.0.0.0/8):\n");
+  std::printf("  descriptor #%d, shadow %d entries (%.2f%% of TCAM), "
+              "max burst rate %.0f inserts/s (Equation 2)\n",
+              qos->id, qos->shadow_capacity, qos->tcam_overhead * 100,
+              qos->max_burst_rate);
+
+  // 3. Tighten to 1 ms later via ModQoSConfig.
+  if (manager.ModQoSConfig(qos->id, from_millis(1))) {
+    const core::QoSDescriptor* updated = manager.descriptor(qos->id);
+    std::printf("  ModQoSConfig -> 1 ms: shadow now %d entries (%.2f%%), "
+                "burst %.0f/s\n",
+                updated->shadow_capacity, updated->tcam_overhead * 100,
+                updated->max_burst_rate);
+  }
+
+  // 4. Release the configuration.
+  manager.DeleteQoS(qos->id);
+  std::printf("  DeleteQoS -> switch freed\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "baselines/hermes_backend.h"
+
+#include "baselines/espres.h"
+#include "baselines/plain_switch.h"
+#include "baselines/shadow_switch.h"
+#include "baselines/tango.h"
+
+namespace hermes::baselines {
+
+HermesBackend::HermesBackend(const tcam::SwitchModel& model,
+                             int tcam_capacity, core::HermesConfig config,
+                             std::string label)
+    : label_(std::move(label)),
+      agent_(model, tcam_capacity, std::move(config)) {}
+
+Time HermesBackend::handle(Time now, const net::FlowMod& mod) {
+  return agent_.handle(now, mod);
+}
+
+std::unique_ptr<HermesBackend> make_hermes_simple(
+    const tcam::SwitchModel& model, int tcam_capacity, double threshold,
+    core::HermesConfig base_config) {
+  base_config.simple_threshold = threshold;
+  return std::make_unique<HermesBackend>(model, tcam_capacity,
+                                         std::move(base_config),
+                                         "Hermes-SIMPLE");
+}
+
+std::unique_ptr<SwitchBackend> make_backend(std::string_view kind,
+                                            const tcam::SwitchModel& model,
+                                            int tcam_capacity) {
+  if (kind == "plain")
+    return std::make_unique<PlainSwitch>(model, tcam_capacity);
+  if (kind == "espres")
+    return std::make_unique<EspresSwitch>(model, tcam_capacity);
+  if (kind == "tango")
+    return std::make_unique<TangoSwitch>(model, tcam_capacity);
+  if (kind == "hermes")
+    return std::make_unique<HermesBackend>(model, tcam_capacity);
+  if (kind == "shadowswitch")
+    return std::make_unique<ShadowSwitchBackend>(model, tcam_capacity);
+  return nullptr;
+}
+
+}  // namespace hermes::baselines

@@ -1,0 +1,19 @@
+#include "baselines/plain_switch.h"
+
+namespace hermes::baselines {
+
+PlainSwitch::PlainSwitch(const tcam::SwitchModel& model, int tcam_capacity)
+    : name_(model.name()), asic_(model, {tcam_capacity}) {}
+
+Time PlainSwitch::handle(Time now, const net::FlowMod& mod) {
+  Time done = asic_.submit(now, 0, mod);
+  if (mod.type == net::FlowModType::kInsert)
+    rit_samples_.push_back(done - now);
+  return done;
+}
+
+std::optional<net::Rule> PlainSwitch::lookup(net::Ipv4Address addr) {
+  return asic_.lookup(addr);
+}
+
+}  // namespace hermes::baselines

@@ -1,0 +1,80 @@
+#include "baselines/shadow_switch.h"
+
+#include <algorithm>
+
+namespace hermes::baselines {
+
+ShadowSwitchBackend::ShadowSwitchBackend(const tcam::SwitchModel& model,
+                                         int tcam_capacity,
+                                         Duration software_insert,
+                                         Duration flush_period)
+    : asic_(model, {tcam_capacity}),
+      software_insert_(software_insert),
+      flush_period_(flush_period),
+      next_flush_(flush_period) {}
+
+Time ShadowSwitchBackend::handle(Time now, const net::FlowMod& mod) {
+  switch (mod.type) {
+    case net::FlowModType::kInsert: {
+      // The control-plane action completes at software speed — that is
+      // ShadowSwitch's whole point.
+      software_[mod.rule.id] = mod.rule;
+      rit_samples_.push_back(software_insert_);
+      return now + software_insert_;
+    }
+    case net::FlowModType::kDelete: {
+      if (software_.erase(mod.rule.id) > 0) return now + software_insert_;
+      return asic_.submit(now, 0, mod);
+    }
+    case net::FlowModType::kModify: {
+      auto it = software_.find(mod.rule.id);
+      if (it != software_.end()) {
+        it->second = mod.rule;
+        return now + software_insert_;
+      }
+      return asic_.submit(now, 0, mod);
+    }
+  }
+  return now;
+}
+
+void ShadowSwitchBackend::tick(Time now) {
+  if (now >= next_flush_ && !software_.empty()) flush(now);
+  while (next_flush_ <= now) next_flush_ += flush_period_;
+}
+
+Time ShadowSwitchBackend::flush(Time now) {
+  if (software_.empty()) return now;
+  std::vector<net::Rule> batch;
+  batch.reserve(software_.size());
+  for (const auto& [id, rule] : software_) batch.push_back(rule);
+  // Deterministic flush order: by priority descending then id.
+  std::sort(batch.begin(), batch.end(),
+            [](const net::Rule& a, const net::Rule& b) {
+              if (a.priority != b.priority) return a.priority > b.priority;
+              return a.id < b.id;
+            });
+  tcam::Asic::BatchResult result;
+  Time done = asic_.submit_batch_insert(now, 0, batch, &result);
+  // Whatever fit leaves software; the rest stays for the next flush.
+  for (int i = 0; i < result.inserted; ++i)
+    software_.erase(batch[static_cast<std::size_t>(i)].id);
+  return done;
+}
+
+std::optional<net::Rule> ShadowSwitchBackend::lookup(net::Ipv4Address addr) {
+  // Hardware first; software entries are matched too (slow path), with
+  // standard highest-priority-wins semantics across both.
+  auto hw = asic_.lookup(addr);
+  const net::Rule* sw = nullptr;
+  for (const auto& [id, rule] : software_) {
+    if (!rule.match.contains(addr)) continue;
+    if (!sw || rule.priority > sw->priority) sw = &rule;
+  }
+  if (hw && sw) return hw->priority >= sw->priority ? *hw : *sw;
+  if (hw) return hw;
+  if (sw) return *sw;
+  return std::nullopt;
+}
+
+}  // namespace hermes::baselines

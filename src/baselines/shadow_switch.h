@@ -1,0 +1,58 @@
+// ShadowSwitch [Bifulco & Matsiuk, CCR'15]: the closest related work the
+// paper discusses. Where Hermes carves a HARDWARE shadow table,
+// ShadowSwitch absorbs insertions in a SOFTWARE table: the flow-mod
+// completes at software speed, and a background process flushes entries
+// into the TCAM. The trade-off is in the data plane — packets matching a
+// rule that is still software-resident take the slow software path —
+// which is why Hermes "explores an alternate point in the design space"
+// (Section 9).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/switch_backend.h"
+#include "tcam/asic.h"
+
+namespace hermes::baselines {
+
+class ShadowSwitchBackend final : public SwitchBackend {
+ public:
+  /// `software_insert` is the cost of accepting a rule in software;
+  /// `flush_period` is how often the background flusher writes the
+  /// software table into the TCAM (batched).
+  ShadowSwitchBackend(const tcam::SwitchModel& model, int tcam_capacity,
+                      Duration software_insert = from_micros(30),
+                      Duration flush_period = from_millis(20));
+
+  Time handle(Time now, const net::FlowMod& mod) override;
+  void tick(Time now) override;
+  std::optional<net::Rule> lookup(net::Ipv4Address addr) override;
+  std::string_view name() const override { return "ShadowSwitch"; }
+  const std::vector<Duration>& rit_samples() const override {
+    return rit_samples_;
+  }
+  void clear_rit_samples() override { rit_samples_.clear(); }
+
+  /// Rules currently only in software (slow data path).
+  int software_resident() const {
+    return static_cast<int>(software_.size());
+  }
+  int tcam_occupancy() const { return asic_.slice(0).occupancy(); }
+  tcam::Asic& asic() { return asic_; }
+
+  /// Forces the background flush (end-of-run drain).
+  Time flush(Time now);
+
+ private:
+  tcam::Asic asic_;
+  Duration software_insert_;
+  Duration flush_period_;
+  Time next_flush_ = 0;
+  std::unordered_map<net::RuleId, net::Rule> software_;
+  std::vector<Duration> rit_samples_;
+};
+
+}  // namespace hermes::baselines

@@ -1,0 +1,37 @@
+// A uniform control-plane interface over switch implementations, so the
+// simulator and benchmark harnesses can swap Hermes, the related-work
+// baselines (Tango, ESPRES) and a plain unmodified switch (Section 8.3).
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "net/rule.h"
+#include "net/time.h"
+
+namespace hermes::baselines {
+
+class SwitchBackend {
+ public:
+  virtual ~SwitchBackend() = default;
+
+  /// Applies one control-plane action arriving at `now`; returns its
+  /// completion time (>= now).
+  virtual Time handle(Time now, const net::FlowMod& mod) = 0;
+
+  /// Periodic background hook (batch flushes, Hermes epochs/migration).
+  /// Call with non-decreasing `now`.
+  virtual void tick(Time now) = 0;
+
+  /// Data-plane lookup against the currently installed rules.
+  virtual std::optional<net::Rule> lookup(net::Ipv4Address addr) = 0;
+
+  virtual std::string_view name() const = 0;
+
+  /// One rule-installation-time sample per controller-visible insert.
+  virtual const std::vector<Duration>& rit_samples() const = 0;
+  virtual void clear_rit_samples() = 0;
+};
+
+}  // namespace hermes::baselines

@@ -1,0 +1,251 @@
+#include "hermes/acl_hermes.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hermes::core {
+
+AclHermes::AclHermes(const tcam::SwitchModel& model, int tcam_capacity,
+                     AclConfig config)
+    : model_(&model), config_(config) {
+  int shadow = config.shadow_capacity > 0
+                   ? config.shadow_capacity
+                   : model.max_shifts_within(config.guarantee) + 1;
+  shadow_capacity_ = std::clamp(shadow, 1, tcam_capacity / 2);
+  main_capacity_ = tcam_capacity - shadow_capacity_;
+}
+
+std::vector<net::RuleId> AclHermes::owners_of(
+    const std::vector<net::RuleId>& piece_ids) const {
+  std::vector<net::RuleId> owners;
+  for (net::RuleId pid : piece_ids) {
+    auto it = piece_owner_.find(pid);
+    if (it == piece_owner_.end()) continue;
+    if (std::find(owners.begin(), owners.end(), it->second) == owners.end())
+      owners.push_back(it->second);
+  }
+  return owners;
+}
+
+int AclHermes::shifts_below(const std::vector<TernaryRule>& table,
+                            int priority) {
+  int below = 0;
+  for (const TernaryRule& r : table)
+    if (r.priority < priority) ++below;
+  return below;
+}
+
+void AclHermes::install_pieces(Time now, Logical& logical,
+                               Time* completion) {
+  auto partition =
+      partition_ternary_rule(logical.original, main_,
+                             config_.merge_partitions,
+                             config_.max_pieces_per_rule);
+  logical.cut_against = owners_of(partition.cut_against);
+  if (partition.redundant) {
+    ++stats_.redundant;
+    logical.piece_ids.clear();
+    logical.in_shadow = false;
+    if (completion) *completion = now;
+    return;
+  }
+  if (partition.exploded) {
+    // Fragmentation cap: drain the shadow (so no lower-priority shadow
+    // copy can mask the newcomer), then install the rule whole in main.
+    // The insert pays main-table shifting — expensive but bounded and
+    // rare; the alternative is piece explosion.
+    migrate_now(now);
+    ++stats_.main_direct;
+    TernaryRule piece{next_piece_id(), logical.original.priority,
+                      logical.original.match, logical.original.action};
+    Duration latency = insert_latency(shifts_below(main_, piece.priority));
+    Time start = std::max(now, main_channel_);
+    main_channel_ = start + latency;
+    if (latency > config_.guarantee) ++stats_.violations;
+    main_.push_back(piece);
+    piece_owner_[piece.id] = logical.original.id;
+    logical.piece_ids = {piece.id};
+    logical.in_shadow = false;
+    logical.cut_against.clear();
+    if (completion) *completion = main_channel_;
+    return;
+  }
+  for (const net::TernaryMatch& match : partition.pieces) {
+    TernaryRule piece{next_piece_id(), logical.original.priority, match,
+                      logical.original.action};
+    Duration latency = insert_latency(shifts_below(shadow_, piece.priority));
+    Time start = std::max(now, shadow_channel_);
+    shadow_channel_ = start + latency;
+    if (latency > config_.guarantee) ++stats_.violations;
+    shadow_.push_back(piece);
+    piece_owner_[piece.id] = logical.original.id;
+    logical.piece_ids.push_back(piece.id);
+    ++stats_.pieces;
+  }
+  logical.in_shadow = true;
+  if (completion) *completion = shadow_channel_;
+}
+
+Time AclHermes::insert(Time now, const TernaryRule& rule) {
+  assert(!logical_.count(rule.id));
+  ++stats_.inserts;
+  Logical logical;
+  logical.original = rule;
+  Time completion = now;
+  if (shadow_occupancy() >= shadow_capacity_) {
+    ++stats_.violations;  // overflow: should have migrated earlier
+    migrate_now(now);
+  }
+  install_pieces(now, logical, &completion);
+  rit_samples_.push_back(completion - now);
+  logical_.emplace(rule.id, std::move(logical));
+  return completion;
+}
+
+Time AclHermes::erase(Time now, net::RuleId id) {
+  auto it = logical_.find(id);
+  if (it == logical_.end()) return now;
+  ++stats_.deletes;
+  Logical logical = std::move(it->second);
+  logical_.erase(it);
+
+  auto& table = logical.in_shadow ? shadow_ : main_;
+  for (net::RuleId pid : logical.piece_ids) {
+    table.erase(std::remove_if(table.begin(), table.end(),
+                               [&](const TernaryRule& r) {
+                                 return r.id == pid;
+                               }),
+                table.end());
+    piece_owner_.erase(pid);
+  }
+  Time done = std::max(now, (logical.in_shadow ? shadow_channel_
+                                               : main_channel_)) +
+              model_->delete_latency();
+  (logical.in_shadow ? shadow_channel_ : main_channel_) = done;
+
+  if (!logical.in_shadow) unpartition_dependents(now, id);
+  return done;
+}
+
+void AclHermes::unpartition_dependents(Time now, net::RuleId blocker) {
+  // Logical rules cut against `blocker` get their pieces rebuilt.
+  std::vector<net::RuleId> dependents;
+  for (auto& [lid, logical] : logical_) {
+    if (std::find(logical.cut_against.begin(), logical.cut_against.end(),
+                  blocker) != logical.cut_against.end())
+      dependents.push_back(lid);
+  }
+  // Higher priority first (lower ones re-cut against restored pieces).
+  std::sort(dependents.begin(), dependents.end(),
+            [&](net::RuleId a, net::RuleId b) {
+              return logical_.at(a).original.priority >
+                     logical_.at(b).original.priority;
+            });
+  for (net::RuleId lid : dependents) {
+    Logical& logical = logical_.at(lid);
+    ++stats_.unpartitions;
+    auto& table = logical.in_shadow ? shadow_ : main_;
+    // Rebuild: drop old pieces, re-cut against the current main table.
+    for (net::RuleId pid : logical.piece_ids) {
+      table.erase(std::remove_if(table.begin(), table.end(),
+                                 [&](const TernaryRule& r) {
+                                   return r.id == pid;
+                                 }),
+                  table.end());
+      piece_owner_.erase(pid);
+    }
+    logical.piece_ids.clear();
+    bool was_in_shadow = logical.in_shadow;
+    if (was_in_shadow) {
+      install_pieces(now, logical, nullptr);
+    } else {
+      // Pieces live in main: re-cut and reinstall there directly.
+      auto partition = partition_ternary_rule(logical.original, main_,
+                                              config_.merge_partitions);
+      logical.cut_against = owners_of(partition.cut_against);
+      for (const net::TernaryMatch& match : partition.pieces) {
+        TernaryRule piece{next_piece_id(), logical.original.priority,
+                          match, logical.original.action};
+        Time start = std::max(now, main_channel_);
+        main_channel_ =
+            start + insert_latency(shifts_below(main_, piece.priority));
+        main_.push_back(piece);
+        piece_owner_[piece.id] = lid;
+        logical.piece_ids.push_back(piece.id);
+      }
+      logical.in_shadow = false;
+    }
+  }
+}
+
+void AclHermes::tick(Time now) {
+  if (shadow_occupancy() >=
+      static_cast<int>(config_.watermark *
+                       static_cast<double>(shadow_capacity_)) &&
+      shadow_occupancy() > 0) {
+    migrate_now(now);
+  }
+}
+
+Time AclHermes::migrate_now(Time now) {
+  if (shadow_.empty()) return now;
+  ++stats_.migrations;
+  // Batched write into main (Section 5.2), highest priority first.
+  std::vector<TernaryRule> batch = shadow_;
+  std::sort(batch.begin(), batch.end(),
+            [](const TernaryRule& a, const TernaryRule& b) {
+              if (a.priority != b.priority) return a.priority > b.priority;
+              return a.id < b.id;
+            });
+  // NOTE: when main lacks room the batch is truncated (highest priorities
+  // go first). Unlike the prefix agent, leftover shadow pieces are NOT
+  // re-cut against the freshly migrated ones — size the main table for
+  // the workload (the prefix HermesAgent is the full-featured engine).
+  int room = main_capacity_ - main_occupancy();
+  if (static_cast<int>(batch.size()) > room)
+    batch.resize(static_cast<std::size_t>(std::max(0, room)));
+
+  Time start = std::max(now, main_channel_);
+  main_channel_ = start + model_->batch_insert_latency(
+                              main_occupancy(),
+                              static_cast<int>(batch.size()));
+  for (const TernaryRule& piece : batch) {
+    main_.push_back(piece);
+    auto owner = piece_owner_.find(piece.id);
+    if (owner != piece_owner_.end())
+      logical_.at(owner->second).in_shadow = false;
+  }
+  // Drain the moved pieces from the shadow (batched invalidation).
+  std::vector<net::RuleId> moved;
+  moved.reserve(batch.size());
+  for (const TernaryRule& piece : batch) moved.push_back(piece.id);
+  shadow_.erase(std::remove_if(shadow_.begin(), shadow_.end(),
+                               [&](const TernaryRule& r) {
+                                 return std::find(moved.begin(),
+                                                  moved.end(),
+                                                  r.id) != moved.end();
+                               }),
+                shadow_.end());
+  Time drain_start = std::max(now, shadow_channel_);
+  shadow_channel_ = drain_start + model_->batch_delete_latency(
+                                      static_cast<int>(moved.size()));
+  return std::max(main_channel_, shadow_channel_);
+}
+
+std::optional<TernaryRule> AclHermes::lookup(std::uint64_t key) const {
+  // Shadow slice wins (hardware precedence); within a slice, priority.
+  const TernaryRule* best = nullptr;
+  for (const TernaryRule& r : shadow_) {
+    if (r.match.matches(key) && (!best || r.priority > best->priority))
+      best = &r;
+  }
+  if (best) return *best;
+  for (const TernaryRule& r : main_) {
+    if (r.match.matches(key) && (!best || r.priority > best->priority))
+      best = &r;
+  }
+  if (best) return *best;
+  return std::nullopt;
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,118 @@
+// Hermes over a multi-field ACL table (ternary matches).
+//
+// The primary HermesAgent specializes Algorithm 1 to LPM prefixes, which
+// is what the paper's FIB-centric evaluation exercises. ACL slices match
+// several ternary fields; there the partial overlaps of Figure 5 (c)
+// appear and cutting fragments non-minimally. AclHermes is the same
+// shadow/main design instantiated over net::TernaryMatch with
+// ternary_partition as the correctness engine:
+//
+//   * inserts land in a bounded shadow table (bounded shifting),
+//   * pieces are cut against higher-priority MAIN rules,
+//   * a threshold/periodic Rule Manager migrates shadow -> main with a
+//     batched write,
+//   * deletes un-partition dependents (Figure 6), and
+//   * lookups are shadow-first (slice precedence), falling through to
+//     main — jointly equivalent to one monolithic ACL table.
+//
+// Timing reuses tcam::SwitchModel exactly as the prefix agent does.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hermes/ternary_partition.h"
+#include "net/time.h"
+#include "tcam/switch_model.h"
+
+namespace hermes::core {
+
+struct AclConfig {
+  Duration guarantee = from_millis(5);
+  int shadow_capacity = 0;  ///< 0 = derive from the guarantee
+  /// Migrate when shadow occupancy crosses this fraction of capacity.
+  double watermark = 0.5;
+  bool merge_partitions = true;
+  /// Fragmentation cap (the Section 4.2 footnote generalized): a rule
+  /// whose cut would exceed this many pieces is installed whole in the
+  /// main table instead (after draining the shadow so nothing masks it).
+  int max_pieces_per_rule = 32;
+};
+
+struct AclStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t main_direct = 0;  ///< fragmentation-cap fallbacks
+  std::uint64_t deletes = 0;
+  std::uint64_t redundant = 0;
+  std::uint64_t pieces = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t unpartitions = 0;
+  std::uint64_t violations = 0;
+};
+
+class AclHermes {
+ public:
+  AclHermes(const tcam::SwitchModel& model, int tcam_capacity,
+            AclConfig config = {});
+
+  /// Inserts a logical ACL rule; returns completion time (>= now).
+  Time insert(Time now, const TernaryRule& rule);
+
+  /// Deletes a logical rule, un-partitioning dependents (Figure 6).
+  Time erase(Time now, net::RuleId id);
+
+  /// Periodic Rule Manager check; migrates when the watermark trips.
+  void tick(Time now);
+  /// Forces a migration.
+  Time migrate_now(Time now);
+
+  /// Shadow-first lookup over both tables (highest priority within each).
+  std::optional<TernaryRule> lookup(std::uint64_t key) const;
+
+  int shadow_occupancy() const { return static_cast<int>(shadow_.size()); }
+  int main_occupancy() const { return static_cast<int>(main_.size()); }
+  int shadow_capacity() const { return shadow_capacity_; }
+  const AclStats& stats() const { return stats_; }
+  const std::vector<Duration>& rit_samples() const { return rit_samples_; }
+
+ private:
+  struct Logical {
+    TernaryRule original;
+    bool in_shadow = true;
+    std::vector<net::RuleId> piece_ids;  // ids within the physical tables
+    std::vector<net::RuleId> cut_against;
+  };
+
+  /// Per-op latency of inserting into a table of `occupancy` entries when
+  /// `shifts` entries sit below the insertion point.
+  Duration insert_latency(int shifts) const {
+    return model_->insert_latency(shifts);
+  }
+  /// Entries of strictly lower priority in `table` (= shift count under
+  /// the compact sorted model).
+  static int shifts_below(const std::vector<TernaryRule>& table,
+                          int priority);
+  void unpartition_dependents(Time now, net::RuleId blocker);
+  /// Translates physical piece ids into their owning logical ids (dedup).
+  std::vector<net::RuleId> owners_of(
+      const std::vector<net::RuleId>& piece_ids) const;
+  void install_pieces(Time now, Logical& logical, Time* completion);
+  net::RuleId next_piece_id() { return piece_id_counter_++; }
+
+  const tcam::SwitchModel* model_;
+  AclConfig config_;
+  int shadow_capacity_;
+  int main_capacity_;
+  std::vector<TernaryRule> shadow_;  // physical pieces
+  std::vector<TernaryRule> main_;
+  std::unordered_map<net::RuleId, Logical> logical_;
+  std::unordered_map<net::RuleId, net::RuleId> piece_owner_;
+  net::RuleId piece_id_counter_ = net::RuleId{1} << 32;
+  Time shadow_channel_ = 0;
+  Time main_channel_ = 0;
+  AclStats stats_;
+  std::vector<Duration> rit_samples_;
+};
+
+}  // namespace hermes::core

@@ -1,0 +1,78 @@
+#include "hermes/gate_keeper.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hermes::core {
+
+RulePredicate match_all() {
+  return [](const net::Rule&) { return true; };
+}
+
+RulePredicate match_prefix_within(net::Prefix scope) {
+  return [scope](const net::Rule& r) { return scope.contains(r.match); };
+}
+
+RulePredicate match_priority_at_least(int min_priority) {
+  return [min_priority](const net::Rule& r) {
+    return r.priority >= min_priority;
+  };
+}
+
+TokenBucket::TokenBucket(double rate, double burst)
+    : rate_(rate), burst_(burst), tokens_(burst) {
+  assert(rate >= 0 && burst >= 0);
+}
+
+void TokenBucket::refill(Time now) {
+  if (now <= last_refill_) return;
+  double elapsed_s = to_seconds(now - last_refill_);
+  tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_);
+  last_refill_ = now;
+}
+
+bool TokenBucket::try_take(Time now) {
+  refill(now);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+double TokenBucket::available(Time now) const {
+  double elapsed_s = now > last_refill_ ? to_seconds(now - last_refill_) : 0;
+  return std::min(burst_, tokens_ + elapsed_s * rate_);
+}
+
+GateKeeper::GateKeeper(const HermesConfig& config, double token_rate,
+                       double token_burst)
+    : config_(&config), bucket_(token_rate, token_burst) {}
+
+Route GateKeeper::route_insert(Time now, const net::Rule& rule,
+                               const RouteContext& ctx) {
+  if (config_->predicate && !config_->predicate(rule)) {
+    ++stats_.unmatched;
+    return Route::kMainUnmatched;
+  }
+  // Section 4.2: a rule at or below the bottom of the main table appends
+  // without shifting — inserting it into the shadow table would only
+  // waste guaranteed capacity and maximize partitioning.
+  if (config_->lowest_priority_optimization && !ctx.main_full &&
+      (ctx.main_empty || rule.priority <= ctx.main_min_priority)) {
+    ++stats_.lowest_priority;
+    return Route::kMainLowestPrio;
+  }
+  if (!bucket_.try_take(now)) {
+    ++stats_.over_rate;
+    return Route::kMainOverRate;
+  }
+  if (ctx.pieces_needed > ctx.shadow_free) {
+    ++stats_.shadow_full;
+    return Route::kMainShadowFull;
+  }
+  ++stats_.guaranteed;
+  return Route::kGuaranteed;
+}
+
+}  // namespace hermes::core

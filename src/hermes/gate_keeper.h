@@ -1,0 +1,87 @@
+// The Gate Keeper (Section 3): admission control and insertion routing.
+//
+// Every flow-mod passes through the Gate Keeper, which decides whether the
+// rule takes the guaranteed path (shadow table) or falls back to the main
+// table. Fallbacks happen when (a) the rule does not match the configured
+// guarantee predicate, (b) the controller exceeds the agreed rate (token
+// bucket), (c) the Section 4.2 lowest-priority optimization applies, or
+// (d) the shadow table cannot absorb the rule.
+#pragma once
+
+#include <cstdint>
+
+#include "hermes/config.h"
+#include "net/rule.h"
+#include "net/time.h"
+
+namespace hermes::core {
+
+/// Continuous-refill token bucket.
+class TokenBucket {
+ public:
+  /// `rate` tokens per second, capacity `burst` tokens (starts full).
+  TokenBucket(double rate, double burst);
+
+  /// Takes one token if available at `now`; false = over-rate.
+  bool try_take(Time now);
+
+  /// Tokens available at `now` (without consuming).
+  double available(Time now) const;
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void refill(Time now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  Time last_refill_ = 0;
+};
+
+/// Why the Gate Keeper routed a rule where it did.
+enum class Route : std::uint8_t {
+  kGuaranteed,       ///< shadow table, guarantee applies
+  kMainUnmatched,    ///< predicate did not select the rule
+  kMainOverRate,     ///< token bucket empty: over the agreed rate
+  kMainLowestPrio,   ///< Section 4.2 optimization: bottom-of-table append
+  kMainShadowFull,   ///< shadow table cannot absorb the rule (violation)
+};
+
+/// Facts about current table state the routing decision depends on.
+struct RouteContext {
+  int shadow_free = 0;        ///< free slots in the shadow table
+  int pieces_needed = 1;      ///< partitions this rule requires
+  int main_min_priority = 0;  ///< lowest priority currently in main
+  bool main_empty = true;
+  bool main_full = false;
+};
+
+struct GateKeeperStats {
+  std::uint64_t guaranteed = 0;
+  std::uint64_t unmatched = 0;
+  std::uint64_t over_rate = 0;
+  std::uint64_t lowest_priority = 0;
+  std::uint64_t shadow_full = 0;
+};
+
+class GateKeeper {
+ public:
+  GateKeeper(const HermesConfig& config, double token_rate,
+             double token_burst);
+
+  /// Routing decision for an insertion arriving at `now`.
+  Route route_insert(Time now, const net::Rule& rule,
+                     const RouteContext& ctx);
+
+  const GateKeeperStats& stats() const { return stats_; }
+  const TokenBucket& bucket() const { return bucket_; }
+
+ private:
+  const HermesConfig* config_;
+  TokenBucket bucket_;
+  GateKeeperStats stats_;
+};
+
+}  // namespace hermes::core

@@ -1,0 +1,425 @@
+#include "hermes/hermes_agent.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace hermes::core {
+
+namespace {
+
+// Physical piece ids live in their own namespace so they can never
+// collide with controller-chosen logical ids (which we require < 2^32).
+constexpr net::RuleId kPieceIdBase = net::RuleId{1} << 32;
+
+}  // namespace
+
+HermesAgent::HermesAgent(const tcam::SwitchModel& model,
+                         int total_tcam_capacity, HermesConfig config)
+    : config_(std::move(config)),
+      asic_(model,
+            [&] {
+              int shadow = config_.shadow_capacity > 0
+                               ? config_.shadow_capacity
+                               : derive_shadow_capacity(model,
+                                                        config_.guarantee);
+              shadow = std::clamp(shadow, 1, total_tcam_capacity / 2);
+              return std::vector<int>{shadow, total_tcam_capacity - shadow};
+            }()),
+      piece_id_counter_(kPieceIdBase) {
+  int shadow = asic_.slice(kShadow).capacity();
+  double rate = config_.token_rate > 0
+                    ? config_.token_rate
+                    : derive_admitted_rate(model, shadow,
+                                           config_.expected_partitions,
+                                           asic_.slice(kMain).capacity() / 2);
+  double burst =
+      config_.token_burst > 0 ? config_.token_burst : static_cast<double>(shadow);
+  admitted_rate_ = rate;
+  gate_keeper_ = std::make_unique<GateKeeper>(config_, rate, burst);
+
+  auto predictor = make_predictor(config_.predictor);
+  auto corrector = make_corrector(config_.corrector, config_.corrector_param);
+  assert(predictor && corrector && "unknown predictor/corrector name");
+  estimator_ = std::make_unique<GrowthEstimator>(std::move(predictor),
+                                                 std::move(corrector));
+}
+
+int HermesAgent::derive_shadow_capacity(const tcam::SwitchModel& model,
+                                        Duration guarantee) {
+  // Inserting into a shadow table holding at most S-1 entries shifts at
+  // most S-1 of them, so pick the largest S with insert_latency(S-1) <=
+  // guarantee.
+  return model.max_shifts_within(guarantee) + 1;
+}
+
+double HermesAgent::derive_admitted_rate(const tcam::SwitchModel& model,
+                                         int shadow_capacity,
+                                         double expected_partitions,
+                                         int typical_main_occupancy) {
+  // Equation 2: lambda = S_ST / (r_p * t_m), with t_m the time to drain a
+  // full shadow table into the main table. Draining uses the optimized
+  // batch write (Section 5.2, step 2), so t_m is one batch latency.
+  double t_m = to_seconds(model.batch_insert_latency(typical_main_occupancy,
+                                                     shadow_capacity));
+  if (t_m <= 0) return 0;
+  return static_cast<double>(shadow_capacity) /
+         (expected_partitions * t_m);
+}
+
+int HermesAgent::shadow_capacity() const {
+  return asic_.slice(kShadow).capacity();
+}
+int HermesAgent::main_capacity() const {
+  return asic_.slice(kMain).capacity();
+}
+int HermesAgent::shadow_occupancy() const {
+  return asic_.slice(kShadow).occupancy();
+}
+int HermesAgent::main_occupancy() const {
+  return asic_.slice(kMain).occupancy();
+}
+
+double HermesAgent::tcam_overhead() const {
+  return static_cast<double>(shadow_capacity()) /
+         static_cast<double>(asic_.total_capacity());
+}
+
+int HermesAgent::main_min_priority() const {
+  return main_priorities_.empty() ? 0 : *main_priorities_.begin();
+}
+
+void HermesAgent::note_guaranteed_latency(Duration latency) {
+  stats_.worst_guaranteed_latency =
+      std::max(stats_.worst_guaranteed_latency, latency);
+  if (latency > config_.guarantee) ++stats_.violations;
+}
+
+// --- Control plane entry points ---------------------------------------------
+
+Time HermesAgent::handle(Time now, const net::FlowMod& mod) {
+  switch (mod.type) {
+    case net::FlowModType::kInsert:
+      return insert(now, mod.rule);
+    case net::FlowModType::kDelete:
+      return erase(now, mod.rule.id);
+    case net::FlowModType::kModify:
+      return modify(now, mod.rule);
+  }
+  return now;
+}
+
+Time HermesAgent::insert(Time now, const net::Rule& rule) {
+  assert(rule.id < kPieceIdBase && "logical rule ids must be < 2^32");
+  if (store_.contains(rule.id)) return modify(now, rule);
+  ++stats_.inserts;
+
+  const tcam::TcamTable& shadow = asic_.slice(kShadow);
+  const tcam::TcamTable& main = asic_.slice(kMain);
+  RouteContext ctx;
+  ctx.shadow_free = shadow.capacity() - shadow.occupancy();
+  ctx.pieces_needed = 1;  // provisional; refined after partitioning
+  ctx.main_min_priority = main_min_priority();
+  ctx.main_empty = main.empty();
+  ctx.main_full = main.full();
+
+  Route route = gate_keeper_->route_insert(now, rule, ctx);
+  if (route != Route::kGuaranteed) {
+    return insert_to_main(now, rule,
+                          /*count_violation=*/route == Route::kMainShadowFull);
+  }
+
+  PartitionResult partition =
+      partition_new_rule(rule, main_index_, config_.merge_partitions);
+  if (partition.redundant) {
+    // Figure 5 (a): the rule could never match; record it (with its
+    // blockers) so a later blocker deletion can materialize it.
+    ++stats_.redundant_inserts;
+    std::vector<net::RuleId> blockers;
+    for (net::RuleId pid : partition.cut_against)
+      if (auto lid = store_.logical_of(pid)) blockers.push_back(*lid);
+    store_.add(LogicalRule{rule, Placement::kMain, {}, true,
+                           std::move(blockers)});
+    record_rit(0, 0);
+    return now;  // handled entirely in agent software
+  }
+  if (static_cast<int>(partition.pieces.size()) > ctx.shadow_free) {
+    // Shadow cannot absorb the pieces: guarantee missed, fall back.
+    ++stats_.violations;
+    return insert_to_main(now, rule, /*count_violation=*/false);
+  }
+  return insert_guaranteed(now, rule, std::move(partition));
+}
+
+Time HermesAgent::insert_guaranteed(Time now, const net::Rule& rule,
+                                    PartitionResult partition) {
+  std::vector<net::Rule> pieces;
+  bool partitioned = !(partition.pieces.size() == 1 &&
+                       partition.pieces[0] == rule.match);
+  if (!partitioned) {
+    pieces.push_back(rule);  // keep the controller's id for the 1:1 case
+  } else {
+    pieces = materialize_partitions(rule, partition, piece_id_counter_);
+    piece_id_counter_ += pieces.size();
+  }
+
+  Time completion = now;
+  Duration op_latency = 0;
+  Duration worst_piece = 0;
+  for (const net::Rule& piece : pieces) {
+    tcam::ApplyResult result;
+    completion = submit_shadow_insert(now, piece, &result);
+    op_latency += result.latency;
+    worst_piece = std::max(worst_piece, result.latency);
+  }
+
+  std::vector<net::RuleId> piece_ids;
+  piece_ids.reserve(pieces.size());
+  for (const net::Rule& p : pieces) piece_ids.push_back(p.id);
+  std::vector<net::RuleId> blockers;
+  for (net::RuleId pid : partition.cut_against)
+    if (auto lid = store_.logical_of(pid)) blockers.push_back(*lid);
+  store_.add(LogicalRule{rule, Placement::kShadow, std::move(piece_ids),
+                         partitioned, std::move(blockers)});
+
+  ++stats_.guaranteed_inserts;
+  stats_.partition_pieces += pieces.size();
+  arrivals_this_epoch_ += static_cast<double>(pieces.size());
+
+  // The guarantee is per control-plane ACTION on the TCAM: a partitioned
+  // insert is several actions, each individually bounded by the shadow
+  // size. Violations are judged per action (overflow fallbacks are
+  // counted separately at the routing layer).
+  Duration latency = completion - now;
+  note_guaranteed_latency(worst_piece);
+  stats_.worst_guaranteed_latency =
+      std::max(stats_.worst_guaranteed_latency, latency);
+  record_rit(latency, op_latency);
+  return completion;
+}
+
+Time HermesAgent::insert_to_main(Time now, const net::Rule& rule,
+                                 bool count_violation) {
+  tcam::ApplyResult result;
+  Time completion = submit_main_insert(now, rule, &result);
+  if (!result.ok) {
+    ++stats_.failed_ops;
+    return completion;
+  }
+  store_.add(LogicalRule{rule, Placement::kMain, {rule.id}, false, {}});
+  ++stats_.main_inserts;
+  if (count_violation) ++stats_.violations;
+  record_rit(completion - now, result.latency);
+  // A rule landing in main can shadow-mask lower-priority shadow rules
+  // (the mirror of Figure 4): cut them now.
+  repartition_shadow_overlaps(now, rule);
+  return completion;
+}
+
+Time HermesAgent::erase(Time now, net::RuleId logical_id) {
+  ++stats_.deletes;
+  const LogicalRule* lr = store_.find(logical_id);
+  if (!lr) {
+    ++stats_.failed_ops;
+    return now;
+  }
+  Time completion = now;
+  if (lr->placement == Placement::kMain) {
+    // Un-index the blocker first so dependents re-partition against the
+    // post-delete main table, then restore them (insert-before-delete
+    // inside repartition_logical keeps per-packet consistency), and only
+    // then remove the physical entries.
+    std::vector<net::RuleId> pieces = lr->physical_ids;
+    for (net::RuleId pid : pieces) {
+      if (auto rule = asic_.slice(kMain).find(pid)) {
+        main_index_.erase(pid, rule->match);
+        main_priorities_.erase(main_priorities_.find(rule->priority));
+      }
+    }
+    unpartition_dependents(now, logical_id);
+    for (net::RuleId pid : pieces) {
+      net::FlowMod del{net::FlowModType::kDelete, net::Rule{pid, 0, {}, {}}};
+      completion = asic_.submit(now, kMain, del);
+    }
+  } else {
+    for (net::RuleId pid : lr->physical_ids) {
+      if (auto rule = asic_.slice(kShadow).find(pid))
+        completion = submit_shadow_delete(now, pid, rule->match);
+    }
+  }
+  store_.remove(logical_id);
+  return completion;
+}
+
+Time HermesAgent::modify(Time now, const net::Rule& rule) {
+  ++stats_.modifies;
+  LogicalRule* lr = store_.find_mutable(rule.id);
+  if (!lr) {
+    ++stats_.failed_ops;
+    return now;
+  }
+  if (rule.priority == lr->original.priority &&
+      rule.match == lr->original.match) {
+    // Action-only change: constant-time in-place rewrite of every piece
+    // (Section 2.1.1 / 4.1).
+    Time completion = now;
+    int slice_idx = lr->placement == Placement::kShadow ? kShadow : kMain;
+    OverlapIndex& index =
+        lr->placement == Placement::kShadow ? shadow_index_ : main_index_;
+    for (net::RuleId pid : lr->physical_ids) {
+      auto piece = asic_.slice(slice_idx).find(pid);
+      if (!piece) continue;
+      net::Rule updated = *piece;
+      updated.action = rule.action;
+      net::FlowMod mod{net::FlowModType::kModify, updated};
+      completion = asic_.submit(now, slice_idx, mod);
+      index.erase(pid, piece->match);
+      index.insert(updated);
+    }
+    lr->original.action = rule.action;
+    return completion;
+  }
+  // Match or priority change: delete + insert (Section 4.1).
+  Time deleted = erase(now, rule.id);
+  Time inserted = insert(now, rule);
+  return std::max(deleted, inserted);
+}
+
+std::optional<net::Rule> HermesAgent::lookup(net::Ipv4Address addr) {
+  return asic_.lookup(addr);
+}
+
+// --- Correctness maintenance --------------------------------------------------
+
+void HermesAgent::repartition_shadow_overlaps(Time now,
+                                              const net::Rule& main_rule) {
+  auto overlapping = shadow_index_.overlapping(
+      main_rule.match, std::numeric_limits<int>::min());
+  std::vector<net::RuleId> logicals;
+  for (const net::Rule& piece : overlapping) {
+    if (piece.priority >= main_rule.priority) continue;
+    if (auto lid = store_.logical_of(piece.id)) {
+      if (std::find(logicals.begin(), logicals.end(), *lid) ==
+          logicals.end())
+        logicals.push_back(*lid);
+    }
+  }
+  for (net::RuleId lid : logicals) {
+    repartition_logical(now, lid);
+    ++stats_.repartitions;
+  }
+}
+
+void HermesAgent::repartition_logical(Time now, net::RuleId logical_id) {
+  LogicalRule* lr = store_.find_mutable(logical_id);
+  if (!lr) return;
+  const Placement placement = lr->placement;
+  const net::Rule original = lr->original;
+  const std::vector<net::RuleId> old_pieces = lr->physical_ids;
+
+  PartitionResult partition = partition_new_rule(
+      original, main_index_, config_.merge_partitions);
+  std::vector<net::RuleId> blockers;
+  for (net::RuleId pid : partition.cut_against)
+    if (auto lid = store_.logical_of(pid)) blockers.push_back(*lid);
+
+  // No-op fast path: if the recomputed cover equals the installed one,
+  // only refresh the dependency edges — no TCAM churn. (Without this,
+  // repeated triggers — e.g. a rule repeatedly skipped by migration —
+  // would delete and reinsert identical pieces forever.)
+  {
+    const tcam::TcamTable& table =
+        asic_.slice(placement == Placement::kShadow ? kShadow : kMain);
+    std::vector<net::Prefix> current;
+    current.reserve(old_pieces.size());
+    for (net::RuleId pid : old_pieces)
+      if (auto rule = table.find(pid)) current.push_back(rule->match);
+    std::vector<net::Prefix> target = partition.pieces;
+    std::sort(current.begin(), current.end());
+    std::sort(target.begin(), target.end());
+    if (current == target && current.size() == old_pieces.size()) {
+      store_.rebind(logical_id, placement, old_pieces,
+                    lr->partitioned, std::move(blockers));
+      return;
+    }
+  }
+
+  std::vector<net::Rule> new_pieces;
+  if (!partition.redundant) {
+    new_pieces =
+        materialize_partitions(original, partition, piece_id_counter_);
+    piece_id_counter_ += new_pieces.size();
+  }
+
+  // Insert the replacement pieces first, then delete the old ones: at
+  // every instant each packet matches either the old or the new cover.
+  std::vector<net::RuleId> new_ids;
+  new_ids.reserve(new_pieces.size());
+  for (const net::Rule& piece : new_pieces) {
+    if (placement == Placement::kShadow) {
+      submit_shadow_insert(now, piece);
+    } else {
+      submit_main_insert(now, piece);
+    }
+    new_ids.push_back(piece.id);
+  }
+  for (net::RuleId pid : old_pieces) {
+    if (placement == Placement::kShadow) {
+      if (auto rule = asic_.slice(kShadow).find(pid))
+        submit_shadow_delete(now, pid, rule->match);
+    } else {
+      if (auto rule = asic_.slice(kMain).find(pid))
+        submit_main_delete(now, pid, rule->match);
+    }
+  }
+  store_.rebind(logical_id, placement, std::move(new_ids),
+                !partition.redundant &&
+                    !(partition.pieces.size() == 1 &&
+                      partition.pieces[0] == original.match),
+                std::move(blockers));
+}
+
+// --- Physical mutation helpers -------------------------------------------------
+
+Time HermesAgent::submit_shadow_insert(Time now, const net::Rule& rule,
+                                       tcam::ApplyResult* result) {
+  tcam::ApplyResult local;
+  Time done =
+      asic_.submit(now, kShadow, {net::FlowModType::kInsert, rule}, &local);
+  if (local.ok) shadow_index_.insert(rule);
+  if (result) *result = local;
+  return done;
+}
+
+Time HermesAgent::submit_shadow_delete(Time now, net::RuleId id,
+                                       const net::Prefix& match) {
+  shadow_index_.erase(id, match);
+  net::FlowMod del{net::FlowModType::kDelete, net::Rule{id, 0, {}, {}}};
+  return asic_.submit(now, kShadow, del);
+}
+
+Time HermesAgent::submit_main_insert(Time now, const net::Rule& rule,
+                                     tcam::ApplyResult* result) {
+  tcam::ApplyResult local;
+  Time done =
+      asic_.submit(now, kMain, {net::FlowModType::kInsert, rule}, &local);
+  if (local.ok) {
+    main_index_.insert(rule);
+    main_priorities_.insert(rule.priority);
+  }
+  if (result) *result = local;
+  return done;
+}
+
+Time HermesAgent::submit_main_delete(Time now, net::RuleId id,
+                                     const net::Prefix& match) {
+  auto rule = asic_.slice(kMain).find(id);
+  if (rule) {
+    main_index_.erase(id, match);
+    main_priorities_.erase(main_priorities_.find(rule->priority));
+  }
+  net::FlowMod del{net::FlowModType::kDelete, net::Rule{id, 0, {}, {}}};
+  return asic_.submit(now, kMain, del);
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,192 @@
+// The Hermes switch agent (Section 3).
+//
+// HermesAgent sits between the OpenFlow agent and the ASIC driver. It
+// carves the switch TCAM into a small shadow slice (slice 0, highest
+// lookup precedence) and a large main slice (slice 1), routes control
+// plane actions through the Gate Keeper, keeps the two tables jointly
+// equivalent to one monolithic table (Section 4: Algorithm 1
+// partitioning, un-partitioning on delete), and periodically migrates
+// rules shadow -> main under a predictive trigger (Section 5, the Rule
+// Manager; its implementation lives in rule_manager.cpp).
+//
+// Timing model: all control-plane actions are simulated; each call takes
+// a simulated `now` and returns the action's completion time. Table state
+// mutates immediately; latency only affects the returned timestamps (and
+// per-slice control-channel serialization inside tcam::Asic).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "hermes/config.h"
+#include "hermes/gate_keeper.h"
+#include "hermes/overlap_index.h"
+#include "hermes/partition.h"
+#include "hermes/predictor.h"
+#include "hermes/rule_store.h"
+#include "net/rule.h"
+#include "net/time.h"
+#include "tcam/asic.h"
+
+namespace hermes::core {
+
+struct AgentStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t modifies = 0;
+  std::uint64_t failed_ops = 0;
+
+  std::uint64_t guaranteed_inserts = 0;   ///< took the shadow path
+  std::uint64_t main_inserts = 0;         ///< any main-table fallback
+  std::uint64_t redundant_inserts = 0;    ///< Figure 5 (a): dropped
+  std::uint64_t partition_pieces = 0;     ///< total pieces created
+  std::uint64_t repartitions = 0;         ///< shadow rules re-cut by a main insert
+  std::uint64_t unpartitions = 0;         ///< Figure 6 restorations
+
+  std::uint64_t migrations = 0;           ///< Rule Manager runs
+  std::uint64_t rules_migrated = 0;       ///< logical rules moved
+  std::uint64_t pieces_migrated = 0;      ///< physical entries written to main
+  std::uint64_t pieces_saved_by_merge = 0;///< optimizer savings (step 2)
+
+  std::uint64_t violations = 0;           ///< guarantee missed
+  Duration worst_guaranteed_latency = 0;
+};
+
+class HermesAgent {
+ public:
+  /// Creates an agent managing a switch whose TCAM holds
+  /// `total_tcam_capacity` entries. The shadow slice size comes from
+  /// `config.shadow_capacity`, or is derived from `config.guarantee` by
+  /// inverting the latency model.
+  HermesAgent(const tcam::SwitchModel& model, int total_tcam_capacity,
+              HermesConfig config);
+
+  // --- Control plane entry points (return completion time) ---------------
+  Time insert(Time now, const net::Rule& rule);
+  Time erase(Time now, net::RuleId logical_id);
+  Time modify(Time now, const net::Rule& rule);
+  Time handle(Time now, const net::FlowMod& mod);
+
+  /// Advances the Rule Manager clock: closes prediction epochs that ended
+  /// at or before `now` and runs migration when the trigger fires.
+  /// Call with non-decreasing `now` (typically once per simulated epoch).
+  void tick(Time now);
+
+  /// Forces a migration immediately (used by tests and ablations).
+  Time migrate_now(Time now);
+
+  // --- Data plane ---------------------------------------------------------
+  std::optional<net::Rule> lookup(net::Ipv4Address addr);
+
+  // --- Introspection --------------------------------------------------------
+  Duration guarantee() const { return config_.guarantee; }
+  int shadow_capacity() const;
+  int main_capacity() const;
+  int shadow_occupancy() const;
+  int main_occupancy() const;
+
+  /// Fraction of the TCAM spent on the shadow slice (Fig 14's overhead).
+  double tcam_overhead() const;
+
+  /// Max guaranteed insertion rate, Equation 2.
+  double admitted_rate() const { return admitted_rate_; }
+
+  const AgentStats& stats() const { return stats_; }
+  const GateKeeper& gate_keeper() const { return *gate_keeper_; }
+  const RuleStore& store() const { return store_; }
+  tcam::Asic& asic() { return asic_; }
+  const tcam::Asic& asic() const { return asic_; }
+
+  /// Rule-installation-time samples (one per controller-visible insert):
+  /// completion minus arrival, i.e. including control-channel queueing.
+  const std::vector<Duration>& rit_samples() const { return rit_samples_; }
+  void clear_rit_samples() {
+    rit_samples_.clear();
+    op_latency_samples_.clear();
+  }
+
+  /// Pure per-operation TCAM latency per insert (sum of the hardware
+  /// latencies of its pieces, excluding queueing) — what latency-model
+  /// driven simulators like the paper's report.
+  const std::vector<Duration>& op_latency_samples() const {
+    return op_latency_samples_;
+  }
+
+  // --- Sizing helpers (shared with the QoS API, Section 7) ----------------
+  /// Shadow capacity delivering `guarantee` on `model` (latency-model
+  /// inversion): inserting into a shadow table with at most S-1 resident
+  /// entries shifts at most S-1 of them.
+  static int derive_shadow_capacity(const tcam::SwitchModel& model,
+                                    Duration guarantee);
+
+  /// Equation 2: lambda = S_ST / (r_p * t_m), with t_m the estimated time
+  /// to drain a full shadow table into the main table (per Section 5.2).
+  static double derive_admitted_rate(const tcam::SwitchModel& model,
+                                     int shadow_capacity,
+                                     double expected_partitions,
+                                     int typical_main_occupancy);
+
+ private:
+  // Slice indices within the carved ASIC.
+  static constexpr int kShadow = 0;
+  static constexpr int kMain = 1;
+
+  // --- Gate Keeper path helpers (hermes_agent.cpp) ------------------------
+  Time insert_guaranteed(Time now, const net::Rule& rule,
+                         PartitionResult partition);
+  Time insert_to_main(Time now, const net::Rule& rule, bool count_violation);
+
+  /// A higher-priority rule landed in main: cut any overlapping
+  /// lower-priority shadow-resident rules against it (the symmetric form
+  /// of the Figure 4 violation).
+  void repartition_shadow_overlaps(Time now, const net::Rule& main_rule);
+
+  /// Re-derives a logical rule's partitions against the current main
+  /// index and swaps its physical pieces in `placement` (insert new, then
+  /// delete old: per-packet consistency).
+  void repartition_logical(Time now, net::RuleId logical_id);
+
+  // --- Physical table mutation (keeps indices + priority set in sync) -----
+  Time submit_shadow_insert(Time now, const net::Rule& rule,
+                            tcam::ApplyResult* result = nullptr);
+  Time submit_shadow_delete(Time now, net::RuleId id,
+                            const net::Prefix& match);
+  Time submit_main_insert(Time now, const net::Rule& rule,
+                          tcam::ApplyResult* result = nullptr);
+  Time submit_main_delete(Time now, net::RuleId id, const net::Prefix& match);
+
+  int main_min_priority() const;
+  net::RuleId next_piece_id() { return piece_id_counter_++; }
+  void record_rit(Duration sojourn, Duration op_latency) {
+    rit_samples_.push_back(sojourn);
+    op_latency_samples_.push_back(op_latency);
+  }
+  void note_guaranteed_latency(Duration latency);
+
+  // --- Rule Manager (rule_manager.cpp) -------------------------------------
+  void close_epoch();
+  bool migration_due() const;
+  Time run_migration(Time now);
+  void unpartition_dependents(Time now, net::RuleId blocker_logical_id);
+
+  HermesConfig config_;
+  tcam::Asic asic_;
+  std::unique_ptr<GateKeeper> gate_keeper_;
+  std::unique_ptr<GrowthEstimator> estimator_;
+  RuleStore store_;
+  OverlapIndex main_index_;
+  OverlapIndex shadow_index_;
+  std::multiset<int> main_priorities_;
+
+  double admitted_rate_ = 0.0;
+  net::RuleId piece_id_counter_;
+  Time epoch_start_ = 0;
+  double arrivals_this_epoch_ = 0;
+  AgentStats stats_;
+  std::vector<Duration> rit_samples_;
+  std::vector<Duration> op_latency_samples_;
+};
+
+}  // namespace hermes::core

@@ -1,0 +1,95 @@
+#include "hermes/incremental_update.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hermes::core {
+
+IncrementalReplaceResult incremental_replace(
+    tcam::Asic& asic, int slice_idx, Time now, net::Rule optimized,
+    std::span<const net::RuleId> replaced, bool allow_fallback) {
+  IncrementalReplaceResult result;
+  tcam::TcamTable& table = asic.slice(slice_idx);
+
+  // (i) the overlapping rules being replaced.
+  std::vector<net::Rule> old_rules;
+  int max_old_priority = optimized.priority;
+  for (net::RuleId id : replaced) {
+    auto rule = table.find(id);
+    if (!rule) continue;
+    old_rules.push_back(*rule);
+    max_old_priority = std::max(max_old_priority, rule->priority);
+  }
+  if (old_rules.empty()) {
+    // Nothing to replace: a plain insert.
+    tcam::ApplyResult apply;
+    result.completion = asic.submit(now, slice_idx,
+                                    {net::FlowModType::kInsert, optimized},
+                                    &apply);
+    result.ok = apply.ok;
+    result.atomic = apply.ok;
+    result.bumped_priority = optimized.priority;
+    return result;
+  }
+
+  // (ii) bump target: one above everything in O.
+  int bumped = max_old_priority + 1;
+
+  // Safety: no unrelated rule overlapping `optimized` may have a priority
+  // in (optimized.priority, bumped] — the bump would cross it.
+  bool safe = true;
+  for (const net::Rule& resident : table.rules()) {
+    if (std::find(replaced.begin(), replaced.end(), resident.id) !=
+        replaced.end())
+      continue;
+    if (!resident.match.overlaps(optimized.match)) continue;
+    if (resident.priority > optimized.priority &&
+        resident.priority <= bumped) {
+      safe = false;
+      break;
+    }
+  }
+
+  if (safe && !table.full()) {
+    optimized.priority = bumped;
+    tcam::ApplyResult apply;
+    Time done = asic.submit(now, slice_idx,
+                            {net::FlowModType::kInsert, optimized}, &apply);
+    if (apply.ok) {
+      for (const net::Rule& old_rule : old_rules) {
+        done = asic.submit(now, slice_idx,
+                           {net::FlowModType::kDelete,
+                            net::Rule{old_rule.id, 0, {}, {}}});
+      }
+      result.ok = true;
+      result.atomic = true;
+      result.bumped_priority = bumped;
+      result.completion = done;
+      return result;
+    }
+  }
+
+  if (!allow_fallback) {
+    result.completion = now;
+    return result;  // caller keeps the old rules
+  }
+
+  // Non-atomic fallback: delete then insert (transient gap, as the naive
+  // approach the paper warns about — reported via atomic=false).
+  Time done = now;
+  for (const net::Rule& old_rule : old_rules) {
+    done = asic.submit(now, slice_idx,
+                       {net::FlowModType::kDelete,
+                        net::Rule{old_rule.id, 0, {}, {}}});
+  }
+  tcam::ApplyResult apply;
+  done = asic.submit(done, slice_idx,
+                     {net::FlowModType::kInsert, optimized}, &apply);
+  result.ok = apply.ok;
+  result.atomic = false;
+  result.bumped_priority = optimized.priority;
+  result.completion = done;
+  return result;
+}
+
+}  // namespace hermes::core

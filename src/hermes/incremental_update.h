@@ -1,0 +1,44 @@
+// The incremental atomic-update algorithm of Section 5.2.
+//
+// When migration's optimizer rewrites rules that must REPLACE existing
+// main-table rules, deleting the old rules before inserting the new one
+// opens a window where packets match neither ("the add and delete
+// operations are not atomic"). Stalling the pipeline would fix it at the
+// cost of data-plane jitter, so Hermes instead:
+//
+//   (i)   collects the main-table rules O that the optimized rule r
+//         overlaps (the rules r replaces),
+//   (ii)  raises r's priority to one above every rule in O, and
+//   (iii) inserts r, then deletes each o in O — at every instant a packet
+//         matches either r (which now outranks O) or a rule of O.
+//
+// Safety precondition checked here: no rule that is NOT being replaced
+// may sit in the priority interval the bump crosses while overlapping r,
+// otherwise the bump would reorder r against an unrelated rule. When
+// that precondition fails the function reports it and performs the
+// non-atomic fallback (delete-then-insert) only if `allow_fallback`.
+#pragma once
+
+#include <span>
+
+#include "net/rule.h"
+#include "net/time.h"
+#include "tcam/asic.h"
+
+namespace hermes::core {
+
+struct IncrementalReplaceResult {
+  bool ok = false;        ///< the replacement happened
+  bool atomic = false;    ///< via the priority-bump path (no gap)
+  int bumped_priority = 0;  ///< priority r ended up with
+  Time completion = 0;
+};
+
+/// Replaces the rules `replaced` (ids resident in `asic` slice
+/// `slice_idx`) with `optimized`, atomically when safe. Control-channel
+/// time is charged via Asic::submit starting at `now`.
+IncrementalReplaceResult incremental_replace(
+    tcam::Asic& asic, int slice_idx, Time now, net::Rule optimized,
+    std::span<const net::RuleId> replaced, bool allow_fallback = true);
+
+}  // namespace hermes::core

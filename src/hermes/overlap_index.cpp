@@ -1,0 +1,128 @@
+#include "hermes/overlap_index.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hermes::core {
+
+namespace {
+constexpr int kNoPriority = std::numeric_limits<int>::min();
+}
+
+struct OverlapIndex::Node {
+  std::unique_ptr<Node> child[2];
+  std::vector<net::Rule> rules;  // rules whose match ends exactly here
+  int max_priority = kNoPriority;  // max over rules + both subtrees
+
+  void recompute_max() {
+    max_priority = kNoPriority;
+    for (const net::Rule& r : rules)
+      max_priority = std::max(max_priority, r.priority);
+    for (const auto& c : child)
+      if (c) max_priority = std::max(max_priority, c->max_priority);
+  }
+};
+
+OverlapIndex::OverlapIndex() : root_(std::make_unique<Node>()) {}
+OverlapIndex::~OverlapIndex() = default;
+OverlapIndex::OverlapIndex(OverlapIndex&&) noexcept = default;
+OverlapIndex& OverlapIndex::operator=(OverlapIndex&&) noexcept = default;
+
+namespace {
+
+// Bit i (0 = MSB) of the prefix address.
+int bit_at(const net::Prefix& p, int i) {
+  return (p.address().value() >> (31 - i)) & 1u;
+}
+
+}  // namespace
+
+void OverlapIndex::insert(const net::Rule& rule) {
+  // Walk/extend the trie along the prefix bits, then fix up cached
+  // priorities on the way back (iteratively, via a parent stack).
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  path.push_back(node);
+  for (int i = 0; i < rule.match.length(); ++i) {
+    int b = bit_at(rule.match, i);
+    if (!node->child[b]) node->child[b] = std::make_unique<Node>();
+    node = node->child[b].get();
+    path.push_back(node);
+  }
+  node->rules.push_back(rule);
+  ++size_;
+  for (auto it = path.rbegin(); it != path.rend(); ++it)
+    (*it)->recompute_max();
+}
+
+bool OverlapIndex::erase(net::RuleId id, const net::Prefix& match) {
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  path.push_back(node);
+  for (int i = 0; i < match.length(); ++i) {
+    int b = bit_at(match, i);
+    if (!node->child[b]) return false;
+    node = node->child[b].get();
+    path.push_back(node);
+  }
+  auto it = std::find_if(node->rules.begin(), node->rules.end(),
+                         [&](const net::Rule& r) { return r.id == id; });
+  if (it == node->rules.end()) return false;
+  node->rules.erase(it);
+  --size_;
+  for (auto pit = path.rbegin(); pit != path.rend(); ++pit)
+    (*pit)->recompute_max();
+  return true;
+}
+
+void OverlapIndex::collect_subtree(const Node* node, int bound,
+                                   std::vector<net::Rule>& out) {
+  if (!node || node->max_priority <= bound) return;
+  for (const net::Rule& r : node->rules)
+    if (r.priority > bound) out.push_back(r);
+  collect_subtree(node->child[0].get(), bound, out);
+  collect_subtree(node->child[1].get(), bound, out);
+}
+
+std::vector<net::Rule> OverlapIndex::overlapping(
+    const net::Prefix& p, int min_priority_exclusive) const {
+  std::vector<net::Rule> out;
+  const Node* node = root_.get();
+  // Ancestors (shorter prefixes containing p), including the empty prefix.
+  for (int i = 0;; ++i) {
+    for (const net::Rule& r : node->rules)
+      if (r.priority > min_priority_exclusive) out.push_back(r);
+    if (i >= p.length()) break;
+    const Node* next = node->child[bit_at(p, i)].get();
+    if (!next) return out;  // path ends: no descendants either
+    node = next;
+  }
+  // Descendants: everything below p's node (excluding the node's own
+  // rules, already collected above).
+  collect_subtree(node->child[0].get(), min_priority_exclusive, out);
+  collect_subtree(node->child[1].get(), min_priority_exclusive, out);
+  return out;
+}
+
+bool OverlapIndex::has_overlap_above(const net::Prefix& p,
+                                     int min_priority_exclusive) const {
+  const Node* node = root_.get();
+  for (int i = 0;; ++i) {
+    for (const net::Rule& r : node->rules)
+      if (r.priority > min_priority_exclusive) return true;
+    if (i >= p.length()) break;
+    const Node* next = node->child[bit_at(p, i)].get();
+    if (!next) return false;
+    node = next;
+  }
+  // Own rules were screened in the loop, so exceeding the bound here can
+  // only come from descendants.
+  return node->max_priority > min_priority_exclusive;
+}
+
+void OverlapIndex::clear() {
+  root_ = std::make_unique<Node>();
+  size_ = 0;
+}
+
+}  // namespace hermes::core

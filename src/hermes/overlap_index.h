@@ -1,0 +1,58 @@
+// Efficient overlap detection between prefix rules (Section 3,
+// "Correctness": Hermes "uses an efficient data structure to detect
+// overlapping rules").
+//
+// Prefix overlap is containment, so a binary trie keyed by prefix bits
+// answers "which installed rules overlap prefix P?" by combining the
+// rules on the root->P path (ancestors of P) with the rules in the
+// subtree under P (descendants). Each node caches the maximum priority in
+// its subtree so queries that only care about higher-priority overlaps can
+// prune aggressively.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/rule.h"
+
+namespace hermes::core {
+
+class OverlapIndex {
+ public:
+  OverlapIndex();
+  ~OverlapIndex();
+  OverlapIndex(OverlapIndex&&) noexcept;
+  OverlapIndex& operator=(OverlapIndex&&) noexcept;
+  OverlapIndex(const OverlapIndex&) = delete;
+  OverlapIndex& operator=(const OverlapIndex&) = delete;
+
+  void insert(const net::Rule& rule);
+
+  /// Removes the rule with this id stored under `match`; returns whether
+  /// anything was removed.
+  bool erase(net::RuleId id, const net::Prefix& match);
+
+  /// All rules whose match overlaps `p` and whose priority is strictly
+  /// greater than `min_priority_exclusive` (pass INT_MIN for "all").
+  /// Deterministic order: ancestors root-down first, then subtree DFS.
+  std::vector<net::Rule> overlapping(const net::Prefix& p,
+                                     int min_priority_exclusive) const;
+
+  /// True iff some rule overlapping `p` has priority > the bound.
+  bool has_overlap_above(const net::Prefix& p,
+                         int min_priority_exclusive) const;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear();
+
+ private:
+  struct Node;
+  static void collect_subtree(const Node* node, int bound,
+                              std::vector<net::Rule>& out);
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hermes::core

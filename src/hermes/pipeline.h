@@ -1,0 +1,76 @@
+// Multi-table pipelines (Section 6, "Supporting Multiple TCAM Tables").
+//
+// Modern switches run a pipeline of match-action TCAM tables. Hermes
+// "addresses this evolution by independently carving each TCAM table to
+// support a shadow and a main table", which also lets the operator give
+// DIFFERENT guarantees to different tables (e.g. a tight guarantee on the
+// ACL table, a loose one on the routing table). To preserve the original
+// pipeline's semantics, each carved main table keeps the original
+// table-miss behavior — goto-next-table, send-to-controller, or drop —
+// while every shadow table always falls through to its own main table.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hermes/hermes_agent.h"
+
+namespace hermes::core {
+
+/// What happens when a packet misses in a (logical) table.
+enum class MissBehavior : std::uint8_t {
+  kGotoNextTable,
+  kToController,
+  kDrop,
+};
+
+/// Per-table configuration: the Hermes knobs plus the preserved miss
+/// behavior of the original table.
+struct TableConfig {
+  HermesConfig hermes;
+  MissBehavior miss = MissBehavior::kGotoNextTable;
+};
+
+class MultiTablePipeline {
+ public:
+  /// One entry per pipeline table: its TCAM capacity and configuration.
+  /// Each table gets its own independently-carved HermesAgent.
+  MultiTablePipeline(const tcam::SwitchModel& model,
+                     std::vector<int> table_capacities,
+                     std::vector<TableConfig> configs);
+
+  int table_count() const { return static_cast<int>(agents_.size()); }
+  HermesAgent& table(int idx) { return *agents_[static_cast<std::size_t>(idx)]; }
+  const HermesAgent& table(int idx) const {
+    return *agents_[static_cast<std::size_t>(idx)];
+  }
+  MissBehavior miss_behavior(int idx) const {
+    return configs_[static_cast<std::size_t>(idx)].miss;
+  }
+
+  /// Control-plane action targeted at pipeline table `table_idx`.
+  Time handle(Time now, int table_idx, const net::FlowMod& mod);
+
+  /// Ticks every table's Rule Manager.
+  void tick(Time now);
+
+  /// Outcome of a full pipeline traversal.
+  struct PipelineResult {
+    enum class Kind : std::uint8_t { kForward, kDrop, kToController };
+    Kind kind = Kind::kDrop;
+    int port = -1;        ///< for kForward
+    int table = -1;       ///< table that decided (or last table visited)
+    net::RuleId rule = net::kInvalidRuleId;  ///< matching rule, if any
+  };
+
+  /// Sends a packet through the pipeline: table 0 upward, honoring rule
+  /// actions (forward/drop terminate; goto-next continues) and per-table
+  /// miss behaviors.
+  PipelineResult process(net::Ipv4Address addr);
+
+ private:
+  std::vector<std::unique_ptr<HermesAgent>> agents_;
+  std::vector<TableConfig> configs_;
+};
+
+}  // namespace hermes::core

@@ -1,0 +1,123 @@
+#include "hermes/qos_api.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hermes::core {
+
+void QoSManager::register_switch(SwitchId id, const tcam::SwitchModel& model,
+                                 int tcam_capacity) {
+  switches_[id] = SwitchEntry{&model, tcam_capacity, kInvalidShadowId};
+}
+
+std::optional<QoSDescriptor> QoSManager::CreateTCAMQoS(
+    SwitchId switch_id, Duration perf_guarantee,
+    RulePredicate match_predicate) {
+  auto it = switches_.find(switch_id);
+  if (it == switches_.end()) return std::nullopt;
+  SwitchEntry& sw = it->second;
+  if (sw.active != kInvalidShadowId) return std::nullopt;  // already configured
+  if (sw.model->base_latency() > perf_guarantee) return std::nullopt;
+
+  HermesConfig config;
+  config.guarantee = perf_guarantee;
+  config.predicate = std::move(match_predicate);
+  auto agent = std::make_unique<HermesAgent>(*sw.model, sw.tcam_capacity,
+                                             std::move(config));
+
+  QoSDescriptor desc;
+  desc.id = next_shadow_id_++;
+  desc.switch_id = switch_id;
+  desc.guarantee = perf_guarantee;
+  desc.shadow_capacity = agent->shadow_capacity();
+  desc.max_burst_rate = agent->admitted_rate();
+  desc.tcam_overhead = agent->tcam_overhead();
+
+  sw.active = desc.id;
+  configs_.emplace(desc.id, QosEntry{desc, std::move(agent)});
+  return desc;
+}
+
+bool QoSManager::DeleteQoS(ShadowId shadow_id) {
+  auto it = configs_.find(shadow_id);
+  if (it == configs_.end()) return false;
+  auto sw = switches_.find(it->second.descriptor.switch_id);
+  if (sw != switches_.end()) sw->second.active = kInvalidShadowId;
+  configs_.erase(it);
+  return true;
+}
+
+bool QoSManager::ModQoSConfig(ShadowId shadow_id, Duration perf_guarantee) {
+  auto it = configs_.find(shadow_id);
+  if (it == configs_.end()) return false;
+  QosEntry& entry = it->second;
+  auto sw = switches_.find(entry.descriptor.switch_id);
+  if (sw == switches_.end()) return false;
+  if (sw->second.model->base_latency() > perf_guarantee) return false;
+
+  // Drain the shadow table, then rebuild the agent with the new carving.
+  // (Re-carving TCAM slices requires an empty shadow slice on real
+  // hardware too.) Installed rules are replayed into the new agent's main
+  // table, which is where they would have ended up anyway.
+  HermesAgent& old_agent = *entry.agent;
+
+  HermesConfig config;
+  config.guarantee = perf_guarantee;
+  auto agent = std::make_unique<HermesAgent>(
+      *sw->second.model, sw->second.tcam_capacity, std::move(config));
+  for (const net::Rule& rule : old_agent.store().all_originals())
+    agent->insert(0, rule);
+  entry.agent = std::move(agent);
+  entry.descriptor.guarantee = perf_guarantee;
+  entry.descriptor.shadow_capacity = entry.agent->shadow_capacity();
+  entry.descriptor.max_burst_rate = entry.agent->admitted_rate();
+  entry.descriptor.tcam_overhead = entry.agent->tcam_overhead();
+  return true;
+}
+
+bool QoSManager::ModQoSMatch(ShadowId shadow_id,
+                             RulePredicate match_predicate) {
+  auto it = configs_.find(shadow_id);
+  if (it == configs_.end()) return false;
+  // The predicate only affects future routing decisions, so swapping it
+  // requires no TCAM surgery. Rebuild-free update via a fresh config is
+  // not exposed by HermesAgent, so route through ModQoSConfig semantics:
+  // drain and recreate with the same guarantee but the new predicate.
+  QosEntry& entry = it->second;
+  auto sw = switches_.find(entry.descriptor.switch_id);
+  if (sw == switches_.end()) return false;
+  HermesAgent& old_agent = *entry.agent;
+  HermesConfig config;
+  config.guarantee = entry.descriptor.guarantee;
+  config.predicate = std::move(match_predicate);
+  auto agent = std::make_unique<HermesAgent>(
+      *sw->second.model, sw->second.tcam_capacity, std::move(config));
+  for (const net::Rule& rule : old_agent.store().all_originals())
+    agent->insert(0, rule);
+  entry.agent = std::move(agent);
+  return true;
+}
+
+double QoSManager::QoSOverheads(SwitchId switch_id, Duration perf_guarantee,
+                                const RulePredicate&) const {
+  auto it = switches_.find(switch_id);
+  if (it == switches_.end()) return -1.0;
+  const SwitchEntry& sw = it->second;
+  if (sw.model->base_latency() > perf_guarantee) return -1.0;
+  int shadow =
+      HermesAgent::derive_shadow_capacity(*sw.model, perf_guarantee);
+  shadow = std::min(shadow, sw.tcam_capacity / 2);
+  return static_cast<double>(shadow) / static_cast<double>(sw.tcam_capacity);
+}
+
+HermesAgent* QoSManager::agent(ShadowId shadow_id) {
+  auto it = configs_.find(shadow_id);
+  return it == configs_.end() ? nullptr : it->second.agent.get();
+}
+
+const QoSDescriptor* QoSManager::descriptor(ShadowId shadow_id) const {
+  auto it = configs_.find(shadow_id);
+  return it == configs_.end() ? nullptr : &it->second.descriptor;
+}
+
+}  // namespace hermes::core

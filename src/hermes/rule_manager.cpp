@@ -1,0 +1,201 @@
+// The Rule Manager half of HermesAgent (Section 5): epoch-based
+// prediction, the migration trigger, the four-step migration workflow of
+// Figure 7, and un-partitioning on blocker deletion (Figure 6).
+#include <algorithm>
+#include <cassert>
+
+#include "hermes/hermes_agent.h"
+
+namespace hermes::core {
+
+void HermesAgent::tick(Time now) {
+  if (config_.simple_threshold >= 0) {
+    // Hermes-SIMPLE: the occupancy threshold is checked on every tick —
+    // with a 0% threshold "migration is constantly happening in the
+    // background" (Section 8.5).
+    while (epoch_start_ + config_.epoch <= now)
+      epoch_start_ += config_.epoch;  // keep the epoch clock moving
+    if (migration_due()) run_migration(now);
+    return;
+  }
+  while (epoch_start_ + config_.epoch <= now) {
+    close_epoch();
+    epoch_start_ += config_.epoch;
+    if (migration_due()) run_migration(epoch_start_);
+  }
+}
+
+Time HermesAgent::migrate_now(Time now) { return run_migration(now); }
+
+void HermesAgent::close_epoch() {
+  estimator_->observe(arrivals_this_epoch_);
+  arrivals_this_epoch_ = 0;
+}
+
+bool HermesAgent::migration_due() const {
+  int occupancy = shadow_occupancy();
+  if (occupancy == 0) return false;
+  int capacity = shadow_capacity();
+  if (config_.simple_threshold >= 0) {
+    // Hermes-SIMPLE (Section 8.5): plain occupancy threshold. A 0%
+    // threshold means "migrate whenever anything is resident".
+    return static_cast<double>(occupancy) >=
+           config_.simple_threshold * static_cast<double>(capacity);
+  }
+  // Predictive trigger (Section 5.1): migrate when the corrected forecast
+  // of next epoch's arrivals would push the shadow past its operating
+  // watermark. The watermark sits at HALF the capacity: the shadow must
+  // stay "relatively empty" (Section 3) — both because insertion latency
+  // grows with occupancy and to leave burst headroom — and the
+  // slack/deadzone-inflated forecast pulls migration earlier as the
+  // arrival rate ramps, which is exactly the mechanism Figure 13 sweeps.
+  double predicted = estimator_->predicted_next();
+  return static_cast<double>(occupancy) + predicted >=
+         config_.migration_watermark * static_cast<double>(capacity);
+}
+
+Time HermesAgent::run_migration(Time now) {
+  std::vector<net::RuleId> shadow_lids =
+      store_.ids_with_placement(Placement::kShadow);
+  if (shadow_lids.empty()) return now;
+  ++stats_.migrations;
+
+  // Migrate higher-priority rules first so that, if the main table runs
+  // out of room mid-migration, the rules left behind in the shadow table
+  // are the low-priority ones (which partition worst anyway).
+  std::sort(shadow_lids.begin(), shadow_lids.end(),
+            [&](net::RuleId a, net::RuleId b) {
+              return store_.find(a)->original.priority >
+                     store_.find(b)->original.priority;
+            });
+
+  // Step 1+2 (Figure 7): copy rules out and optimize. Each logical rule
+  // is re-partitioned against the PRE-migration main table: co-migrating
+  // rules need no cuts between themselves (the main TCAM disambiguates
+  // same-table overlaps by priority), and blockers deleted since the
+  // original cut get their regions merged back — this is the
+  // "defragmentation" that makes the optimizer worthwhile.
+  struct Planned {
+    net::RuleId lid;
+    std::vector<net::Rule> pieces;
+    std::vector<net::RuleId> blockers;
+    bool partitioned = false;
+  };
+  std::vector<Planned> plan;
+  plan.reserve(shadow_lids.size());
+  for (net::RuleId lid : shadow_lids) {
+    const LogicalRule* lr = store_.find(lid);
+    PartitionResult partition = partition_new_rule(
+        lr->original, main_index_, config_.merge_partitions);
+    Planned item;
+    item.lid = lid;
+    if (!partition.redundant) {
+      bool unchanged = partition.pieces.size() == 1 &&
+                       partition.pieces[0] == lr->original.match;
+      item.partitioned = !unchanged;
+      item.pieces = materialize_partitions(lr->original, partition,
+                                           piece_id_counter_);
+      piece_id_counter_ += item.pieces.size();
+    }
+    for (net::RuleId pid : partition.cut_against)
+      if (auto blocker = store_.logical_of(pid))
+        item.blockers.push_back(*blocker);
+    if (lr->physical_ids.size() > item.pieces.size())
+      stats_.pieces_saved_by_merge +=
+          lr->physical_ids.size() - item.pieces.size();
+    plan.push_back(std::move(item));
+  }
+
+  // Step 3: write the optimized rules into the main table as one batch
+  // per migration (the Section 5.2 optimized write). The shadow copies
+  // are still live, so every packet keeps matching a rule throughout.
+  tcam::TcamTable& main = asic_.slice(kMain);
+  std::vector<net::Rule> batch;
+  std::vector<std::size_t> migrated;  // indices into `plan`
+  std::vector<std::size_t> skipped;
+  int free_slots = main.capacity() - main.occupancy();
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    int needed = static_cast<int>(plan[i].pieces.size());
+    if (needed > free_slots) {
+      skipped.push_back(i);
+      continue;
+    }
+    free_slots -= needed;
+    migrated.push_back(i);
+    batch.insert(batch.end(), plan[i].pieces.begin(), plan[i].pieces.end());
+  }
+  Time main_done = now;
+  if (!batch.empty()) {
+    if (config_.batched_migration) {
+      // One optimized update transaction (Section 5.2, step 2).
+      tcam::Asic::BatchResult result;
+      main_done = asic_.submit_batch_insert(now, kMain, batch, &result);
+      assert(result.inserted == static_cast<int>(batch.size()));
+    } else {
+      // Ablation: naive per-rule reinsertion — each insert pays its own
+      // occupancy-deep shifting cost on the main channel.
+      for (const net::Rule& piece : batch)
+        main_done = asic_.submit(now, kMain,
+                                 {net::FlowModType::kInsert, piece});
+    }
+    for (const net::Rule& piece : batch) {
+      main_index_.insert(piece);
+      main_priorities_.insert(piece.priority);
+    }
+  }
+
+  // Step 4: empty the migrated rules out of the shadow table as one
+  // batched invalidation (deletes move nothing) and rebind bookkeeping.
+  std::vector<net::RuleId> drained;
+  for (std::size_t i : migrated) {
+    const LogicalRule* lr = store_.find(plan[i].lid);
+    for (net::RuleId pid : lr->physical_ids) {
+      if (auto rule = asic_.slice(kShadow).find(pid)) {
+        shadow_index_.erase(pid, rule->match);
+        drained.push_back(pid);
+      }
+    }
+  }
+  Time shadow_done =
+      drained.empty() ? now
+                      : asic_.submit_batch_delete(now, kShadow, drained);
+  for (std::size_t i : migrated) {
+    Planned& item = plan[i];
+    std::vector<net::RuleId> new_ids;
+    new_ids.reserve(item.pieces.size());
+    for (const net::Rule& piece : item.pieces) new_ids.push_back(piece.id);
+    bool partitioned = item.partitioned || item.pieces.empty();
+    store_.rebind(item.lid, Placement::kMain, std::move(new_ids),
+                  partitioned, std::move(item.blockers));
+    ++stats_.rules_migrated;
+    stats_.pieces_migrated += item.pieces.size();
+  }
+
+  // Rules that did not fit stay in the shadow table; they would now mask
+  // the freshly migrated higher-priority pieces, so re-cut them against
+  // the updated main table.
+  for (std::size_t i : skipped) {
+    repartition_logical(now, plan[i].lid);
+    ++stats_.repartitions;
+  }
+
+  return std::max(main_done, shadow_done);
+}
+
+void HermesAgent::unpartition_dependents(Time now,
+                                         net::RuleId blocker_logical_id) {
+  std::vector<net::RuleId> deps = store_.dependents_of(blocker_logical_id);
+  // Restore higher-priority dependents first: lower-priority ones are then
+  // re-partitioned against the already-expanded higher-priority pieces.
+  std::sort(deps.begin(), deps.end(), [&](net::RuleId a, net::RuleId b) {
+    const LogicalRule* la = store_.find(a);
+    const LogicalRule* lb = store_.find(b);
+    return la->original.priority > lb->original.priority;
+  });
+  for (net::RuleId lid : deps) {
+    repartition_logical(now, lid);
+    ++stats_.unpartitions;
+  }
+}
+
+}  // namespace hermes::core

@@ -1,0 +1,110 @@
+#include "hermes/rule_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hermes::core {
+
+void RuleStore::add(LogicalRule rule) {
+  net::RuleId id = rule.original.id;
+  assert(!logical_.count(id));
+  link(rule);
+  logical_.emplace(id, std::move(rule));
+}
+
+std::optional<LogicalRule> RuleStore::remove(net::RuleId logical_id) {
+  auto it = logical_.find(logical_id);
+  if (it == logical_.end()) return std::nullopt;
+  LogicalRule out = std::move(it->second);
+  unlink(out);
+  logical_.erase(it);
+  // Drop the (now dangling) dependency list of this rule as a blocker;
+  // callers un-partition dependents before removing a blocker.
+  dependents_.erase(logical_id);
+  return out;
+}
+
+const LogicalRule* RuleStore::find(net::RuleId logical_id) const {
+  auto it = logical_.find(logical_id);
+  return it == logical_.end() ? nullptr : &it->second;
+}
+
+LogicalRule* RuleStore::find_mutable(net::RuleId logical_id) {
+  auto it = logical_.find(logical_id);
+  return it == logical_.end() ? nullptr : &it->second;
+}
+
+std::optional<net::RuleId> RuleStore::logical_of(
+    net::RuleId physical_id) const {
+  auto it = physical_to_logical_.find(physical_id);
+  if (it == physical_to_logical_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<net::RuleId> RuleStore::dependents_of(
+    net::RuleId blocker_logical_id) const {
+  auto it = dependents_.find(blocker_logical_id);
+  if (it == dependents_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+void RuleStore::rebind(net::RuleId logical_id, Placement placement,
+                       std::vector<net::RuleId> physical_ids,
+                       bool partitioned,
+                       std::vector<net::RuleId> cut_against) {
+  auto it = logical_.find(logical_id);
+  assert(it != logical_.end());
+  unlink(it->second);
+  it->second.placement = placement;
+  it->second.physical_ids = std::move(physical_ids);
+  it->second.partitioned = partitioned;
+  it->second.cut_against = std::move(cut_against);
+  link(it->second);
+}
+
+std::vector<net::RuleId> RuleStore::ids_with_placement(
+    Placement placement) const {
+  std::vector<net::RuleId> out;
+  for (const auto& [id, rule] : logical_) {
+    if (rule.placement == placement) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<net::Rule> RuleStore::all_originals() const {
+  std::vector<net::Rule> out;
+  out.reserve(logical_.size());
+  for (const auto& [id, rule] : logical_) out.push_back(rule.original);
+  std::sort(out.begin(), out.end(),
+            [](const net::Rule& a, const net::Rule& b) {
+              if (a.priority != b.priority) return a.priority > b.priority;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+void RuleStore::clear() {
+  logical_.clear();
+  physical_to_logical_.clear();
+  dependents_.clear();
+}
+
+void RuleStore::unlink(const LogicalRule& rule) {
+  for (net::RuleId pid : rule.physical_ids) physical_to_logical_.erase(pid);
+  for (net::RuleId blocker : rule.cut_against) {
+    auto it = dependents_.find(blocker);
+    if (it != dependents_.end()) {
+      it->second.erase(rule.original.id);
+      if (it->second.empty()) dependents_.erase(it);
+    }
+  }
+}
+
+void RuleStore::link(const LogicalRule& rule) {
+  for (net::RuleId pid : rule.physical_ids)
+    physical_to_logical_.emplace(pid, rule.original.id);
+  for (net::RuleId blocker : rule.cut_against)
+    dependents_[blocker].insert(rule.original.id);
+}
+
+}  // namespace hermes::core

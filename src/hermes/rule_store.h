@@ -1,0 +1,89 @@
+// Logical-rule bookkeeping: the "mapping set M" of Algorithm 1, extended
+// with the reverse dependencies needed for deletion (Section 4.1).
+//
+// The controller thinks in LOGICAL rules (one id per flow-mod). Hermes may
+// physically represent a logical rule as several partition pieces, spread
+// across the shadow and main tables. This store records:
+//   * logical id -> {original rule, where the pieces live, piece ids},
+//   * physical id -> owning logical id,
+//   * blocking main rule (logical id) -> logical rules partitioned
+//     because of it (to "un-partition" when the blocker is deleted,
+//     Figure 6).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/rule.h"
+
+namespace hermes::core {
+
+/// Which physical table a logical rule's pieces currently live in.
+enum class Placement : std::uint8_t { kShadow, kMain };
+
+struct LogicalRule {
+  net::Rule original;  ///< the rule as the controller issued it
+  Placement placement = Placement::kShadow;
+  /// Physical rule ids realizing this logical rule (== {original.id} when
+  /// unpartitioned; partition piece ids otherwise).
+  std::vector<net::RuleId> physical_ids;
+  /// True when physical rules differ from the original match (Algorithm 1
+  /// cut the rule).
+  bool partitioned = false;
+  /// Logical ids of main-resident rules this rule was cut against.
+  std::vector<net::RuleId> cut_against;
+};
+
+class RuleStore {
+ public:
+  /// Registers a logical rule. `cut_against` lists the logical ids of the
+  /// main rules that caused partitioning (empty when unpartitioned).
+  void add(LogicalRule rule);
+
+  /// Removes a logical rule and all its dependency edges. Returns the
+  /// removed record, or nullopt if unknown.
+  std::optional<LogicalRule> remove(net::RuleId logical_id);
+
+  const LogicalRule* find(net::RuleId logical_id) const;
+  LogicalRule* find_mutable(net::RuleId logical_id);
+
+  /// Logical id owning a physical rule id, or nullopt.
+  std::optional<net::RuleId> logical_of(net::RuleId physical_id) const;
+
+  /// Logical rules that were partitioned because of `blocker_logical_id`
+  /// (candidates for un-partitioning when the blocker is deleted).
+  std::vector<net::RuleId> dependents_of(net::RuleId blocker_logical_id) const;
+
+  /// Rebinds a logical rule's physical pieces (e.g. after re-partitioning
+  /// or migration). Updates the physical->logical map and dependency edges.
+  void rebind(net::RuleId logical_id, Placement placement,
+              std::vector<net::RuleId> physical_ids, bool partitioned,
+              std::vector<net::RuleId> cut_against);
+
+  std::size_t size() const { return logical_.size(); }
+  bool contains(net::RuleId logical_id) const {
+    return logical_.count(logical_id) > 0;
+  }
+
+  /// All logical ids currently placed in the given table.
+  std::vector<net::RuleId> ids_with_placement(Placement placement) const;
+
+  /// Every logical rule as originally issued by the controller, sorted by
+  /// descending priority then id (a valid reinstallation order).
+  std::vector<net::Rule> all_originals() const;
+
+  void clear();
+
+ private:
+  void unlink(const LogicalRule& rule);
+  void link(const LogicalRule& rule);
+
+  std::unordered_map<net::RuleId, LogicalRule> logical_;
+  std::unordered_map<net::RuleId, net::RuleId> physical_to_logical_;
+  std::unordered_map<net::RuleId, std::unordered_set<net::RuleId>>
+      dependents_;
+};
+
+}  // namespace hermes::core

@@ -1,0 +1,127 @@
+#include "hermes/ternary_partition.h"
+
+#include <algorithm>
+
+namespace hermes::core {
+
+std::vector<net::TernaryMatch> ternary_difference(
+    const net::TernaryMatch& minuend, const net::TernaryMatch& subtrahend) {
+  if (!minuend.overlaps(subtrahend)) return {minuend};
+  if (subtrahend.contains(minuend)) return {};  // difference is empty
+
+  // Bits the subtrahend pins but the minuend leaves free. Splitting the
+  // minuend on each such bit (taking the half that DISAGREES with the
+  // subtrahend, then recursing into the agreeing half) tiles the
+  // difference exactly.
+  std::vector<net::TernaryMatch> out;
+  net::TernaryMatch current = minuend;
+  std::uint64_t split_bits = subtrahend.mask() & ~minuend.mask();
+  while (split_bits != 0) {
+    std::uint64_t bit = split_bits & (~split_bits + 1);  // lowest set bit
+    split_bits ^= bit;
+    // The half of `current` whose `bit` disagrees with the subtrahend is
+    // entirely outside it.
+    std::uint64_t disagree = (subtrahend.value() & bit) ^ bit;
+    out.emplace_back((current.value() & ~bit) | disagree,
+                     current.mask() | bit);
+    // Continue cutting inside the agreeing half.
+    current = net::TernaryMatch(
+        (current.value() & ~bit) | (subtrahend.value() & bit),
+        current.mask() | bit);
+  }
+  // `current` now agrees with the subtrahend on every cared bit, i.e. it
+  // is contained in it — excluded from the difference.
+  return out;
+}
+
+std::vector<net::TernaryMatch> merge_ternary(
+    std::vector<net::TernaryMatch> cubes) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Drop cubes contained in another.
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+      for (std::size_t j = 0; j < cubes.size(); ++j) {
+        if (i == j) continue;
+        if (cubes[j].contains(cubes[i])) {
+          cubes.erase(cubes.begin() + static_cast<std::ptrdiff_t>(i));
+          changed = true;
+          --i;
+          break;
+        }
+      }
+    }
+    // Combine sibling pairs: same mask, values differing in exactly one
+    // cared bit.
+    for (std::size_t i = 0; i < cubes.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < cubes.size(); ++j) {
+        if (cubes[i].mask() != cubes[j].mask()) continue;
+        std::uint64_t diff = cubes[i].value() ^ cubes[j].value();
+        if (diff == 0 || (diff & (diff - 1)) != 0) continue;  // not 1 bit
+        net::TernaryMatch parent(cubes[i].value() & ~diff,
+                                 cubes[i].mask() & ~diff);
+        cubes.erase(cubes.begin() + static_cast<std::ptrdiff_t>(j));
+        cubes[i] = parent;
+        changed = true;
+        break;
+      }
+    }
+  }
+  std::sort(cubes.begin(), cubes.end(),
+            [](const net::TernaryMatch& a, const net::TernaryMatch& b) {
+              if (a.mask() != b.mask()) return a.mask() < b.mask();
+              return a.value() < b.value();
+            });
+  return cubes;
+}
+
+TernaryPartitionResult partition_ternary_rule(
+    const TernaryRule& new_rule, const std::vector<TernaryRule>& table,
+    bool merge, int max_pieces) {
+  TernaryPartitionResult result;
+  std::vector<net::TernaryMatch> pieces{new_rule.match};
+
+  // Widest blockers first so wholesale removals short-circuit early.
+  std::vector<const TernaryRule*> blockers;
+  for (const TernaryRule& r : table) {
+    if (r.priority > new_rule.priority && r.match.overlaps(new_rule.match))
+      blockers.push_back(&r);
+  }
+  std::sort(blockers.begin(), blockers.end(),
+            [](const TernaryRule* a, const TernaryRule* b) {
+              return a->match.specificity() < b->match.specificity();
+            });
+
+  for (const TernaryRule* blocker : blockers) {
+    std::vector<net::TernaryMatch> next;
+    bool cut_something = false;
+    for (const net::TernaryMatch& piece : pieces) {
+      if (!piece.overlaps(blocker->match)) {
+        next.push_back(piece);
+        continue;
+      }
+      cut_something = true;
+      auto residual = ternary_difference(piece, blocker->match);
+      next.insert(next.end(), residual.begin(), residual.end());
+    }
+    if (cut_something) result.cut_against.push_back(blocker->id);
+    pieces = std::move(next);
+    if (pieces.empty()) break;
+    if (max_pieces > 0 &&
+        static_cast<int>(pieces.size()) > max_pieces) {
+      result.exploded = true;
+      result.pieces.clear();
+      return result;
+    }
+  }
+
+  if (pieces.empty()) {
+    result.redundant = true;
+    return result;
+  }
+  result.pieces = merge ? merge_ternary(std::move(pieces))
+                        : std::move(pieces);
+  return result;
+}
+
+}  // namespace hermes::core

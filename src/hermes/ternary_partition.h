@@ -1,0 +1,67 @@
+// Algorithm 1 generalized to TERNARY matches (multi-field ACL rules).
+//
+// The prefix specialization in partition.h covers LPM tables, where
+// overlap is containment and the cut set is automatically minimal. Real
+// ACL TCAM rules match several ternary fields, and there overlaps can be
+// PARTIAL (Figure 5 (c)): neither rule contains the other, they just
+// intersect. Cutting then genuinely fragments — `new_rule minus blocker`
+// expands one don't-care bit per cared-bit difference — and the final
+// Merge step (Algorithm 1 line 7) earns its keep by recombining sibling
+// cubes. This module provides those primitives over net::TernaryMatch,
+// exactly the EffiCuts-style setting the paper cites [59].
+#pragma once
+
+#include <vector>
+
+#include "net/rule.h"
+#include "net/ternary.h"
+
+namespace hermes::core {
+
+/// A ternary ACL rule (id/priority/action as usual, ternary key).
+struct TernaryRule {
+  net::RuleId id = net::kInvalidRuleId;
+  int priority = 0;
+  net::TernaryMatch match;
+  net::Action action;
+};
+
+/// Minimal cover of `minuend \ subtrahend` as ternary cubes.
+/// Standard cube subtraction: for every bit the subtrahend cares about
+/// and the minuend leaves free, emit the half of the minuend that
+/// disagrees; at most popcount(sub.mask & ~min.mask) cubes (+0 when the
+/// two are disjoint: the result is then just {minuend}).
+std::vector<net::TernaryMatch> ternary_difference(
+    const net::TernaryMatch& minuend, const net::TernaryMatch& subtrahend);
+
+/// Merges cubes pairwise where possible: two cubes that differ in exactly
+/// one cared bit (same mask) combine into one cube with that bit freed;
+/// cubes contained in others are dropped. Repeats to a fixed point.
+/// Greedy (not guaranteed globally minimal — two-level minimization is
+/// NP-hard) but removes all sibling fragmentation from cutting.
+std::vector<net::TernaryMatch> merge_ternary(
+    std::vector<net::TernaryMatch> cubes);
+
+/// Outcome of ternary Algorithm 1 (mirrors core::PartitionResult).
+struct TernaryPartitionResult {
+  bool redundant = false;
+  /// Set when cutting was abandoned because the piece count crossed
+  /// `max_pieces`: `pieces` is then meaningless and the caller should
+  /// fall back (e.g. install the rule whole in the main table).
+  bool exploded = false;
+  std::vector<net::TernaryMatch> pieces;
+  std::vector<net::RuleId> cut_against;
+};
+
+/// Cuts `new_rule` against every strictly-higher-priority rule in
+/// `table`, merging at the end when `merge` is set. Linear scan of
+/// `table` (ACL tables are small; an R-tree style index would slot in
+/// where OverlapIndex does for prefixes).
+/// `max_pieces` (0 = unlimited) aborts the cut early once the working
+/// piece set crosses the limit — multi-field cuts can fragment
+/// combinatorially, and callers with a fallback should bound the work.
+TernaryPartitionResult partition_ternary_rule(
+    const TernaryRule& new_rule, const std::vector<TernaryRule>& table,
+    bool merge = true, int max_pieces = 0);
+
+}  // namespace hermes::core

@@ -1,0 +1,122 @@
+#include "net/ipv4.h"
+
+#include <algorithm>
+#include <charconv>
+
+namespace hermes::net {
+
+namespace {
+
+// Parses a decimal integer in [0, max] from the front of `text`, advancing it.
+std::optional<std::uint32_t> parse_int(std::string_view& text,
+                                       std::uint32_t max) {
+  std::uint32_t out = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr == begin || out > max) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return out;
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    auto octet = parse_int(text, 255);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((value_ >> shift) & 0xff);
+  }
+  return out;
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto address = Ipv4Address::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  std::string_view rest = text.substr(slash + 1);
+  auto length = parse_int(rest, 32);
+  if (!length || !rest.empty()) return std::nullopt;
+  return Prefix(*address, static_cast<int>(*length));
+}
+
+std::string Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+std::vector<Prefix> prefix_difference(const Prefix& outer,
+                                      const Prefix& inner) {
+  std::vector<Prefix> result;
+  if (!outer.contains(inner)) return result;  // nothing meaningful to cut
+  if (outer == inner) return result;          // difference is empty
+  result.reserve(static_cast<std::size_t>(inner.length() - outer.length()));
+  // Walk down the trie from outer toward inner; at each step keep the
+  // sibling subtree that does NOT contain inner.
+  Prefix current = outer;
+  while (current.length() < inner.length()) {
+    Prefix left = current.left_child();
+    Prefix right = current.right_child();
+    if (left.contains(inner)) {
+      result.push_back(right);
+      current = left;
+    } else {
+      result.push_back(left);
+      current = right;
+    }
+  }
+  return result;
+}
+
+std::vector<Prefix> merge_prefixes(std::vector<Prefix> prefixes) {
+  // Deduplicate and drop prefixes contained in another (sorting by address
+  // then length places a container immediately before its containees).
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
+                 prefixes.end());
+  std::vector<Prefix> kept;
+  kept.reserve(prefixes.size());
+  for (const Prefix& p : prefixes) {
+    if (!kept.empty() && kept.back().contains(p)) continue;
+    kept.push_back(p);
+  }
+  // Repeatedly merge adjacent siblings into their parent. Because kept is
+  // sorted by address, a sibling pair is always adjacent. After a merge the
+  // parent may itself merge with its sibling, so we look back one slot.
+  std::vector<Prefix> out;
+  out.reserve(kept.size());
+  for (const Prefix& p : kept) {
+    out.push_back(p);
+    while (out.size() >= 2) {
+      const Prefix& a = out[out.size() - 2];
+      const Prefix& b = out[out.size() - 1];
+      if (a.length() == b.length() && a.length() > 0 && a.sibling() == b) {
+        Prefix parent = a.parent();
+        out.pop_back();
+        out.pop_back();
+        out.push_back(parent);
+      } else {
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hermes::net

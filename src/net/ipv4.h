@@ -1,0 +1,144 @@
+// IPv4 addresses and prefixes.
+//
+// These are the fundamental match keys used throughout the Hermes
+// reproduction: TCAM rules match on destination prefixes (longest prefix
+// match), and the partitioning algorithm of Section 4 manipulates prefixes
+// directly (splitting, exclusion, sibling merging).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hermes::net {
+
+/// A 32-bit IPv4 address, stored in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+
+  /// Builds an address from dotted-quad octets: {a,b,c,d} -> a.b.c.d.
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses "a.b.c.d"; returns nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An IPv4 prefix: `length` leading bits of `address` are significant.
+///
+/// Invariant: the non-significant (host) bits of `address` are zero and
+/// 0 <= length <= 32. The canonicalizing constructor enforces this.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+
+  /// Canonicalizes: masks away host bits, clamps length to [0, 32].
+  constexpr Prefix(Ipv4Address address, int length)
+      : length_(length < 0 ? 0 : (length > 32 ? 32 : length)),
+        address_(Ipv4Address(address.value() & mask_for(length_))) {}
+
+  /// Parses "a.b.c.d/len"; returns nullopt on malformed input.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  /// The default route 0.0.0.0/0, which matches every address.
+  static constexpr Prefix any() { return Prefix(); }
+
+  constexpr Ipv4Address address() const { return address_; }
+  constexpr int length() const { return length_; }
+
+  /// Network mask: `length` leading one-bits.
+  static constexpr std::uint32_t mask_for(int length) {
+    return length <= 0 ? 0u : (~std::uint32_t{0} << (32 - length));
+  }
+  constexpr std::uint32_t mask() const { return mask_for(length_); }
+
+  /// First and last addresses covered by this prefix.
+  constexpr Ipv4Address first() const { return address_; }
+  constexpr Ipv4Address last() const {
+    return Ipv4Address(address_.value() | ~mask());
+  }
+
+  /// Number of addresses covered (2^(32-length)) as a 64-bit count.
+  constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  constexpr bool contains(Ipv4Address a) const {
+    return (a.value() & mask()) == address_.value();
+  }
+
+  /// True when `other` is fully inside this prefix (including equality).
+  constexpr bool contains(const Prefix& other) const {
+    return length_ <= other.length_ &&
+           (other.address_.value() & mask()) == address_.value();
+  }
+
+  /// Prefixes overlap iff one contains the other (prefix ranges are
+  /// laminar: they never partially intersect).
+  constexpr bool overlaps(const Prefix& other) const {
+    return contains(other) || other.contains(*this);
+  }
+
+  /// The two halves of this prefix; valid only when length < 32.
+  constexpr Prefix left_child() const {
+    return Prefix(address_, length_ + 1);
+  }
+  constexpr Prefix right_child() const {
+    return Prefix(Ipv4Address(address_.value() | (1u << (31 - length_))),
+                  length_ + 1);
+  }
+
+  /// The enclosing prefix one bit shorter; valid only when length > 0.
+  constexpr Prefix parent() const { return Prefix(address_, length_ - 1); }
+
+  /// The sibling under the shared parent; valid only when length > 0.
+  constexpr Prefix sibling() const {
+    return Prefix(Ipv4Address(address_.value() ^ (1u << (32 - length_))),
+                  length_);
+  }
+
+  std::string to_string() const;
+
+  friend constexpr bool operator==(const Prefix&, const Prefix&) = default;
+  /// Orders by (address, length); gives a deterministic total order.
+  friend constexpr auto operator<=>(const Prefix& a, const Prefix& b) {
+    if (auto c = a.address_ <=> b.address_; c != 0) return c;
+    return a.length_ <=> b.length_;
+  }
+
+ private:
+  int length_ = 0;
+  Ipv4Address address_{};
+};
+
+/// Computes the minimal set of prefixes covering `outer` minus `inner`.
+///
+/// Precondition: outer.contains(inner). Produces at most
+/// inner.length() - outer.length() prefixes (the siblings along the trie
+/// path from outer down to inner). This is the core "EliminateOverlap"
+/// primitive of the paper's Algorithm 1.
+std::vector<Prefix> prefix_difference(const Prefix& outer,
+                                      const Prefix& inner);
+
+/// Greedily merges sibling prefixes that appear together, repeatedly,
+/// producing a minimal equivalent cover of the same address set.
+/// (The "Merge" step of Algorithm 1; optimal for laminar sibling merging.)
+std::vector<Prefix> merge_prefixes(std::vector<Prefix> prefixes);
+
+}  // namespace hermes::net

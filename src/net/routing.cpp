@@ -1,0 +1,245 @@
+#include "net/routing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace hermes::net {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct QueueEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const QueueEntry& o) const {
+    return dist > o.dist || (dist == o.dist && node > o.node);
+  }
+};
+
+// Dijkstra from `src`, honoring `banned_nodes` / `banned_links` (for Yen).
+// Returns per-node distance and predecessor link.
+struct SsspResult {
+  std::vector<double> dist;
+  std::vector<LinkId> pred_link;
+};
+
+SsspResult dijkstra(const Topology& topo, NodeId src, const LinkWeight& weight,
+                    const std::vector<char>* banned_nodes = nullptr,
+                    const std::set<LinkId>* banned_links = nullptr) {
+  auto n = static_cast<std::size_t>(topo.node_count());
+  SsspResult r{std::vector<double>(n, kInf),
+               std::vector<LinkId>(n, kInvalidLink)};
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      pq;
+  r.dist[static_cast<std::size_t>(src)] = 0;
+  pq.push({0, src});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > r.dist[static_cast<std::size_t>(u)]) continue;
+    for (LinkId lid : topo.links_of(u)) {
+      if (banned_links && banned_links->count(lid)) continue;
+      const Link& l = topo.link(lid);
+      NodeId v = l.other(u);
+      if (banned_nodes && (*banned_nodes)[static_cast<std::size_t>(v)])
+        continue;
+      double nd = d + weight(l);
+      if (nd < r.dist[static_cast<std::size_t>(v)]) {
+        r.dist[static_cast<std::size_t>(v)] = nd;
+        r.pred_link[static_cast<std::size_t>(v)] = lid;
+        pq.push({nd, v});
+      }
+    }
+  }
+  return r;
+}
+
+std::optional<Path> extract_path(const Topology& topo, const SsspResult& r,
+                                 NodeId src, NodeId dst) {
+  if (r.dist[static_cast<std::size_t>(dst)] == kInf) return std::nullopt;
+  Path path;
+  NodeId cur = dst;
+  while (cur != src) {
+    path.push_back(cur);
+    LinkId pl = r.pred_link[static_cast<std::size_t>(cur)];
+    cur = topo.link(pl).other(cur);
+  }
+  path.push_back(src);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+LinkWeight hop_count() {
+  return [](const Link&) { return 1.0; };
+}
+
+LinkWeight propagation_delay() {
+  return [](const Link& l) { return l.delay_s; };
+}
+
+std::optional<Path> shortest_path(const Topology& topo, NodeId src,
+                                  NodeId dst, const LinkWeight& weight) {
+  if (src == dst) return Path{src};
+  auto r = dijkstra(topo, src, weight);
+  return extract_path(topo, r, src, dst);
+}
+
+double path_cost(const Topology& topo, const Path& path,
+                 const LinkWeight& weight) {
+  if (path.empty()) return kInf;
+  double total = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    LinkId l = topo.find_link(path[i], path[i + 1]);
+    if (l == kInvalidLink) return kInf;
+    total += weight(topo.link(l));
+  }
+  return total;
+}
+
+std::vector<Path> ecmp_paths(const Topology& topo, NodeId src, NodeId dst,
+                             const LinkWeight& weight, int max_paths) {
+  std::vector<Path> out;
+  if (max_paths <= 0) return out;
+  if (src == dst) {
+    out.push_back(Path{src});
+    return out;
+  }
+  // dist_from_src + link + dist_to_dst == total  <=>  the link lies on a
+  // shortest path. Enumerate such paths by DFS from src.
+  auto from_src = dijkstra(topo, src, weight);
+  auto to_dst = dijkstra(topo, dst, weight);
+  double total = from_src.dist[static_cast<std::size_t>(dst)];
+  if (total == kInf) return out;
+
+  constexpr double kEps = 1e-12;
+  Path current{src};
+  // Iterative DFS with explicit stack of (node, next-neighbor-index).
+  struct Frame {
+    NodeId node;
+    std::size_t next_idx;
+  };
+  std::vector<Frame> stack{{src, 0}};
+  while (!stack.empty() && static_cast<int>(out.size()) < max_paths) {
+    Frame& f = stack.back();
+    NodeId u = f.node;
+    const auto& adj = topo.links_of(u);
+    bool descended = false;
+    while (f.next_idx < adj.size()) {
+      LinkId lid = adj[f.next_idx++];
+      const Link& l = topo.link(lid);
+      NodeId v = l.other(u);
+      double du = from_src.dist[static_cast<std::size_t>(u)];
+      double dv = to_dst.dist[static_cast<std::size_t>(v)];
+      if (dv == kInf) continue;
+      if (std::abs(du + weight(l) + dv - total) > kEps) continue;
+      current.push_back(v);
+      if (v == dst) {
+        out.push_back(current);
+        current.pop_back();
+        if (static_cast<int>(out.size()) >= max_paths) break;
+        continue;
+      }
+      stack.push_back({v, 0});
+      descended = true;
+      break;
+    }
+    if (!descended && !stack.empty() && f.next_idx >= adj.size()) {
+      stack.pop_back();
+      current.pop_back();
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Path> k_shortest_paths(const Topology& topo, NodeId src,
+                                   NodeId dst, const LinkWeight& weight,
+                                   int k) {
+  std::vector<Path> result;
+  if (k <= 0) return result;
+  auto first = shortest_path(topo, src, dst, weight);
+  if (!first) return result;
+  result.push_back(*first);
+
+  // Candidate paths, ordered by cost then lexicographically (determinism).
+  auto cmp = [&](const Path& a, const Path& b) {
+    double ca = path_cost(topo, a, weight);
+    double cb = path_cost(topo, b, weight);
+    if (ca != cb) return ca < cb;
+    return a < b;
+  };
+  std::vector<Path> candidates;
+
+  while (static_cast<int>(result.size()) < k) {
+    const Path& prev = result.back();
+    for (std::size_t i = 0; i + 1 < prev.size(); ++i) {
+      NodeId spur_node = prev[i];
+      Path root(prev.begin(), prev.begin() + static_cast<std::ptrdiff_t>(i + 1));
+
+      std::set<LinkId> banned_links;
+      for (const Path& p : result) {
+        if (p.size() > i &&
+            std::equal(root.begin(), root.end(), p.begin())) {
+          if (p.size() > i + 1) {
+            LinkId l = topo.find_link(p[i], p[i + 1]);
+            if (l != kInvalidLink) banned_links.insert(l);
+          }
+        }
+      }
+      std::vector<char> banned_nodes(
+          static_cast<std::size_t>(topo.node_count()), 0);
+      for (std::size_t j = 0; j < i; ++j)
+        banned_nodes[static_cast<std::size_t>(root[j])] = 1;
+
+      auto sssp = dijkstra(topo, spur_node, weight, &banned_nodes,
+                           &banned_links);
+      auto spur = extract_path(topo, sssp, spur_node, dst);
+      if (!spur) continue;
+      Path total = root;
+      total.insert(total.end(), spur->begin() + 1, spur->end());
+      if (std::find(candidates.begin(), candidates.end(), total) ==
+              candidates.end() &&
+          std::find(result.begin(), result.end(), total) == result.end()) {
+        candidates.push_back(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    auto best = std::min_element(candidates.begin(), candidates.end(), cmp);
+    result.push_back(*best);
+    candidates.erase(best);
+  }
+  return result;
+}
+
+PathDatabase::PathDatabase(const Topology& topo, int paths_per_pair,
+                           LinkWeight weight)
+    : topo_(topo),
+      paths_per_pair_(paths_per_pair),
+      weight_(std::move(weight)) {}
+
+const std::vector<Path>& PathDatabase::paths(NodeId src, NodeId dst) {
+  std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+                      static_cast<std::uint32_t>(dst);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  std::vector<Path> paths = ecmp_paths(topo_, src, dst, weight_,
+                                       paths_per_pair_);
+  if (static_cast<int>(paths.size()) < paths_per_pair_) {
+    for (Path& p : k_shortest_paths(topo_, src, dst, weight_,
+                                    paths_per_pair_)) {
+      if (std::find(paths.begin(), paths.end(), p) == paths.end())
+        paths.push_back(std::move(p));
+      if (static_cast<int>(paths.size()) >= paths_per_pair_) break;
+    }
+  }
+  return cache_.emplace(key, std::move(paths)).first->second;
+}
+
+}  // namespace hermes::net

@@ -1,0 +1,32 @@
+#include "net/rule.h"
+
+namespace hermes::net {
+
+std::string to_string(const Action& action) {
+  switch (action.type) {
+    case ActionType::kForward:
+      return "fwd(" + std::to_string(action.port) + ")";
+    case ActionType::kDrop:
+      return "drop";
+    case ActionType::kToController:
+      return "to-controller";
+    case ActionType::kGotoNextTable:
+      return "goto-next-table";
+  }
+  return "?";
+}
+
+std::string to_string(const Rule& rule) {
+  return "#" + std::to_string(rule.id) + " prio=" +
+         std::to_string(rule.priority) + " " + rule.match.to_string() +
+         " -> " + to_string(rule.action);
+}
+
+std::string to_string(const FlowMod& mod) {
+  const char* verb = mod.type == FlowModType::kInsert   ? "insert"
+                     : mod.type == FlowModType::kDelete ? "delete"
+                                                        : "modify";
+  return std::string(verb) + " " + to_string(mod.rule);
+}
+
+}  // namespace hermes::net

@@ -1,0 +1,66 @@
+// Flow rules: the unit of control-plane actions (OpenFlow flow-mods).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ipv4.h"
+
+namespace hermes::net {
+
+using RuleId = std::uint64_t;
+inline constexpr RuleId kInvalidRuleId = 0;
+
+/// What a matching rule does to a packet.
+enum class ActionType : std::uint8_t {
+  kForward,        ///< forward out of `port`
+  kDrop,           ///< discard the packet
+  kToController,   ///< punt to the SDN controller (packet-in)
+  kGotoNextTable,  ///< continue matching in the next pipeline table
+};
+
+struct Action {
+  ActionType type = ActionType::kDrop;
+  int port = -1;  ///< egress port; meaningful only for kForward
+
+  friend constexpr bool operator==(const Action&, const Action&) = default;
+};
+
+constexpr Action forward_to(int port) {
+  return Action{ActionType::kForward, port};
+}
+
+std::string to_string(const Action& action);
+
+/// A single flow-table rule. Higher `priority` wins on overlapping matches
+/// (the OpenFlow convention).
+struct Rule {
+  RuleId id = kInvalidRuleId;
+  int priority = 0;
+  Prefix match;  ///< destination-prefix match key
+  Action action;
+
+  /// Semantic equality ignores the identity `id`.
+  bool same_behavior(const Rule& other) const {
+    return priority == other.priority && match == other.match &&
+           action == other.action;
+  }
+
+  friend constexpr bool operator==(const Rule&, const Rule&) = default;
+};
+
+std::string to_string(const Rule& rule);
+
+/// The kinds of control-plane actions a controller issues (flow-mod verbs).
+enum class FlowModType : std::uint8_t { kInsert, kDelete, kModify };
+
+/// A control-plane action: verb + rule payload. For kModify, `rule`
+/// carries the rule id to modify plus the new match/priority/action.
+struct FlowMod {
+  FlowModType type = FlowModType::kInsert;
+  Rule rule;
+};
+
+std::string to_string(const FlowMod& mod);
+
+}  // namespace hermes::net

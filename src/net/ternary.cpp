@@ -1,0 +1,30 @@
+#include "net/ternary.h"
+
+#include <bit>
+
+namespace hermes::net {
+
+std::optional<Prefix> TernaryMatch::to_prefix() const {
+  if (mask_ > 0xffffffffull) return std::nullopt;
+  auto mask32 = static_cast<std::uint32_t>(mask_);
+  // A prefix mask is a (possibly empty) run of leading ones within 32 bits.
+  if (mask32 != 0 &&
+      std::countl_one(mask32) + std::countr_zero(mask32) != 32) {
+    return std::nullopt;
+  }
+  int length = std::countl_one(mask32);
+  return Prefix(Ipv4Address(static_cast<std::uint32_t>(value_)), length);
+}
+
+int TernaryMatch::specificity() const { return std::popcount(mask_); }
+
+std::string TernaryMatch::to_string() const {
+  std::string out(64, '*');
+  for (int i = 0; i < 64; ++i) {
+    std::uint64_t bit = std::uint64_t{1} << (63 - i);
+    if (mask_ & bit) out[static_cast<std::size_t>(i)] = (value_ & bit) ? '1' : '0';
+  }
+  return out;
+}
+
+}  // namespace hermes::net

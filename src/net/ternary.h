@@ -1,0 +1,77 @@
+// Generic ternary (value/mask) match keys.
+//
+// TCAM hardware matches keys ternarily: each bit is 0, 1 or don't-care.
+// The Hermes core mostly manipulates IPv4 prefixes (a restricted ternary
+// form), but the TCAM model and the ACL-style optimizer operate on general
+// ternary keys, so both representations are provided with conversions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/ipv4.h"
+
+namespace hermes::net {
+
+/// A ternary match over a 64-bit key: bit i matters iff mask bit i is set,
+/// in which case it must equal the corresponding value bit.
+///
+/// Invariant: (value & ~mask) == 0 (don't-care value bits are zeroed).
+class TernaryMatch {
+ public:
+  constexpr TernaryMatch() = default;  // matches everything
+  constexpr TernaryMatch(std::uint64_t value, std::uint64_t mask)
+      : value_(value & mask), mask_(mask) {}
+
+  /// Embeds an IPv4 prefix in the low 32 bits of the key.
+  static constexpr TernaryMatch from_prefix(const Prefix& p) {
+    return TernaryMatch(p.address().value(), p.mask());
+  }
+
+  /// Inverse of from_prefix; nullopt when the mask is not a prefix mask
+  /// confined to the low 32 bits.
+  std::optional<Prefix> to_prefix() const;
+
+  constexpr std::uint64_t value() const { return value_; }
+  constexpr std::uint64_t mask() const { return mask_; }
+
+  constexpr bool matches(std::uint64_t key) const {
+    return (key & mask_) == value_;
+  }
+
+  /// Two ternary matches intersect iff they agree on all bits both care
+  /// about.
+  constexpr bool overlaps(const TernaryMatch& other) const {
+    return ((value_ ^ other.value_) & mask_ & other.mask_) == 0;
+  }
+
+  /// True when every key matched by `other` is matched by *this:
+  /// our cared bits are a subset of theirs, and we agree on them.
+  constexpr bool contains(const TernaryMatch& other) const {
+    return (mask_ & other.mask_) == mask_ &&
+           (other.value_ & mask_) == value_;
+  }
+
+  /// The intersection match, when the two overlap.
+  constexpr std::optional<TernaryMatch> intersect(
+      const TernaryMatch& other) const {
+    if (!overlaps(other)) return std::nullopt;
+    return TernaryMatch(value_ | other.value_, mask_ | other.mask_);
+  }
+
+  /// Number of cared bits (more specific => larger).
+  int specificity() const;
+
+  /// Renders as a 64-character string of {0,1,*} (MSB first).
+  std::string to_string() const;
+
+  friend constexpr bool operator==(const TernaryMatch&,
+                                   const TernaryMatch&) = default;
+
+ private:
+  std::uint64_t value_ = 0;
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace hermes::net

@@ -1,0 +1,35 @@
+// Simulated time. All simulation-facing latencies in this codebase are
+// expressed as integer nanoseconds; no simulation path reads a wall clock.
+#pragma once
+
+#include <cstdint>
+
+namespace hermes {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using Time = std::int64_t;
+/// A span of simulated time, in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+constexpr Duration from_millis(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+constexpr Duration from_micros(double us) {
+  return static_cast<Duration>(us * static_cast<double>(kMicrosecond));
+}
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace hermes

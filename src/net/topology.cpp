@@ -1,0 +1,211 @@
+#include "net/topology.h"
+
+#include <cassert>
+#include <tuple>
+
+namespace hermes::net {
+
+NodeId Topology::add_node(NodeKind kind, std::string name) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{id, kind, std::move(name)});
+  adjacency_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, double capacity_bps,
+                          double delay_s) {
+  assert(a >= 0 && a < node_count() && b >= 0 && b < node_count() && a != b);
+  LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{id, a, b, capacity_bps, delay_s});
+  adjacency_[static_cast<std::size_t>(a)].push_back(id);
+  adjacency_[static_cast<std::size_t>(b)].push_back(id);
+  return id;
+}
+
+std::vector<NodeId> Topology::hosts() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_)
+    if (n.kind == NodeKind::kHost) out.push_back(n.id);
+  return out;
+}
+
+std::vector<NodeId> Topology::switches() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_)
+    if (n.kind == NodeKind::kSwitch) out.push_back(n.id);
+  return out;
+}
+
+LinkId Topology::find_link(NodeId a, NodeId b) const {
+  for (LinkId l : links_of(a)) {
+    if (links_[static_cast<std::size_t>(l)].other(a) == b) return l;
+  }
+  return kInvalidLink;
+}
+
+std::vector<LinkId> path_links(const Topology& topo, const Path& path) {
+  std::vector<LinkId> out;
+  if (path.size() < 2) return out;
+  out.reserve(path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    LinkId l = topo.find_link(path[i], path[i + 1]);
+    if (l == kInvalidLink) return {};
+    out.push_back(l);
+  }
+  return out;
+}
+
+Topology fat_tree(int k, double link_bps, double link_delay_s) {
+  assert(k >= 2 && k % 2 == 0);
+  Topology topo;
+  const int half = k / 2;
+  const int num_core = half * half;
+
+  std::vector<NodeId> core(static_cast<std::size_t>(num_core));
+  for (int i = 0; i < num_core; ++i)
+    core[static_cast<std::size_t>(i)] =
+        topo.add_node(NodeKind::kSwitch, "core-" + std::to_string(i));
+
+  for (int pod = 0; pod < k; ++pod) {
+    std::vector<NodeId> agg(static_cast<std::size_t>(half));
+    std::vector<NodeId> edge(static_cast<std::size_t>(half));
+    for (int i = 0; i < half; ++i) {
+      agg[static_cast<std::size_t>(i)] = topo.add_node(
+          NodeKind::kSwitch,
+          "agg-" + std::to_string(pod) + "-" + std::to_string(i));
+      edge[static_cast<std::size_t>(i)] = topo.add_node(
+          NodeKind::kSwitch,
+          "edge-" + std::to_string(pod) + "-" + std::to_string(i));
+    }
+    // Aggregation <-> core: agg switch i in each pod connects to core
+    // switches [i*half, (i+1)*half).
+    for (int i = 0; i < half; ++i) {
+      for (int j = 0; j < half; ++j) {
+        topo.add_link(agg[static_cast<std::size_t>(i)],
+                      core[static_cast<std::size_t>(i * half + j)], link_bps,
+                      link_delay_s);
+      }
+    }
+    // Full bipartite aggregation <-> edge within the pod.
+    for (int i = 0; i < half; ++i)
+      for (int j = 0; j < half; ++j)
+        topo.add_link(agg[static_cast<std::size_t>(i)],
+                      edge[static_cast<std::size_t>(j)], link_bps,
+                      link_delay_s);
+    // Hosts under each edge switch.
+    for (int i = 0; i < half; ++i) {
+      for (int h = 0; h < half; ++h) {
+        NodeId host = topo.add_node(
+            NodeKind::kHost, "host-" + std::to_string(pod) + "-" +
+                                 std::to_string(i) + "-" + std::to_string(h));
+        topo.add_link(edge[static_cast<std::size_t>(i)], host, link_bps,
+                      link_delay_s);
+      }
+    }
+  }
+  return topo;
+}
+
+namespace {
+
+// Helper: builds an ISP topology from a name list and an edge list with
+// per-edge capacity (Gbps) and delay (ms). Every ISP node doubles as an
+// ingress/egress point, so each switch gets one attached host that sources
+// and sinks the traffic-matrix flows.
+Topology build_isp(const std::vector<std::string>& names,
+                   const std::vector<std::tuple<int, int, double, double>>&
+                       edges) {
+  Topology topo;
+  std::vector<NodeId> sw;
+  sw.reserve(names.size());
+  for (const std::string& n : names)
+    sw.push_back(topo.add_node(NodeKind::kSwitch, n));
+  for (auto [a, b, gbps, ms] : edges) {
+    topo.add_link(sw[static_cast<std::size_t>(a)],
+                  sw[static_cast<std::size_t>(b)], gbps * 1e9, ms * 1e-3);
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    NodeId host = topo.add_node(NodeKind::kHost, "pop-" + names[i]);
+    topo.add_link(sw[i], host, 100e9, 1e-6);
+  }
+  return topo;
+}
+
+}  // namespace
+
+Topology abilene() {
+  // Internet2 Abilene backbone, 2004: 12 PoPs, 15 trunks (10 Gbps OC-192).
+  // Delays approximate great-circle distances between the PoPs.
+  const std::vector<std::string> names = {
+      "NewYork", "Chicago",  "WashingtonDC", "Seattle",
+      "Sunnyvale", "LosAngeles", "Denver",   "KansasCity",
+      "Houston", "Atlanta",  "Indianapolis", "AtlantaM5"};
+  const std::vector<std::tuple<int, int, double, double>> edges = {
+      {0, 1, 10, 4.0},   // NewYork - Chicago
+      {0, 2, 10, 2.0},   // NewYork - WashingtonDC
+      {1, 10, 10, 1.0},  // Chicago - Indianapolis
+      {2, 9, 10, 3.0},   // WashingtonDC - Atlanta
+      {3, 4, 10, 4.0},   // Seattle - Sunnyvale
+      {3, 6, 10, 6.0},   // Seattle - Denver
+      {4, 5, 10, 2.0},   // Sunnyvale - LosAngeles
+      {4, 6, 10, 5.0},   // Sunnyvale - Denver
+      {5, 8, 10, 7.0},   // LosAngeles - Houston
+      {6, 7, 10, 3.0},   // Denver - KansasCity
+      {7, 8, 10, 4.0},   // KansasCity - Houston
+      {7, 10, 10, 3.0},  // KansasCity - Indianapolis
+      {8, 9, 10, 4.0},   // Houston - Atlanta
+      {9, 11, 10, 0.5},  // Atlanta - AtlantaM5
+      {9, 10, 10, 3.0},  // Atlanta - Indianapolis
+  };
+  return build_isp(names, edges);
+}
+
+Topology geant() {
+  // GEANT European research network (2004 snapshot): 23 nodes, 37 links.
+  const std::vector<std::string> names = {
+      "AT", "BE", "CH", "CY", "CZ", "DE", "ES", "FR", "GR", "HR", "HU", "IE",
+      "IL", "IT", "LU", "NL", "PL", "PT", "SE", "SI", "SK", "UK", "US"};
+  const std::vector<std::tuple<int, int, double, double>> edges = {
+      {0, 2, 10, 2.0},  {0, 4, 10, 1.5},  {0, 5, 10, 2.0},  {0, 10, 10, 1.5},
+      {0, 13, 10, 3.0}, {0, 19, 10, 1.0}, {0, 20, 10, 1.0}, {1, 7, 10, 1.5},
+      {1, 14, 10, 1.0}, {1, 15, 10, 1.0}, {2, 7, 10, 2.0},  {2, 13, 10, 2.5},
+      {3, 8, 2.5, 5.0}, {4, 5, 10, 2.0},  {4, 16, 10, 2.5}, {4, 20, 10, 1.5},
+      {5, 7, 10, 2.5},  {5, 12, 10, 12.0},{5, 15, 10, 2.0}, {5, 18, 10, 4.0},
+      {5, 22, 10, 40.0},{6, 7, 10, 3.0},  {6, 13, 10, 3.5}, {6, 17, 10, 2.5},
+      {6, 21, 10, 4.0}, {7, 21, 10, 2.0}, {8, 13, 10, 3.5}, {9, 10, 10, 1.5},
+      {9, 19, 2.5, 1.0},{10, 20, 10, 1.0},{11, 21, 10, 2.0},{12, 21, 2.5, 15.0},
+      {13, 21, 10, 5.0},{14, 5, 10, 1.0}, {15, 21, 10, 2.0},{16, 18, 10, 3.0},
+      {17, 21, 10, 5.0},
+  };
+  return build_isp(names, edges);
+}
+
+Topology quest() {
+  // Quest (Internet Topology Zoo): 20-node regional network, 31 links.
+  const std::vector<std::string> names = {
+      "q00", "q01", "q02", "q03", "q04", "q05", "q06", "q07", "q08", "q09",
+      "q10", "q11", "q12", "q13", "q14", "q15", "q16", "q17", "q18", "q19"};
+  const std::vector<std::tuple<int, int, double, double>> edges = {
+      {0, 1, 10, 1.0},  {0, 2, 10, 1.5},  {0, 5, 10, 2.0},  {1, 3, 10, 1.0},
+      {1, 6, 10, 2.5},  {2, 3, 10, 1.0},  {2, 7, 10, 2.0},  {3, 4, 10, 1.5},
+      {4, 8, 10, 2.0},  {4, 9, 10, 2.5},  {5, 6, 10, 1.0},  {5, 10, 10, 3.0},
+      {6, 11, 10, 2.0}, {7, 8, 10, 1.0},  {7, 12, 10, 2.5}, {8, 13, 10, 2.0},
+      {9, 14, 10, 3.0}, {10, 11, 10, 1.0},{10, 15, 10, 2.0},{11, 16, 10, 2.5},
+      {12, 13, 10, 1.0},{12, 17, 10, 2.0},{13, 18, 10, 2.5},{14, 19, 10, 2.0},
+      {14, 18, 10, 1.5},{15, 16, 10, 1.0},{15, 19, 10, 3.0},{16, 17, 10, 1.5},
+      {17, 18, 10, 1.0},{18, 19, 10, 2.0},{9, 13, 10, 2.0},
+  };
+  return build_isp(names, edges);
+}
+
+Topology single_switch(int num_hosts, double link_bps, double link_delay_s) {
+  Topology topo;
+  NodeId sw = topo.add_node(NodeKind::kSwitch, "sw0");
+  for (int i = 0; i < num_hosts; ++i) {
+    NodeId h = topo.add_node(NodeKind::kHost, "h" + std::to_string(i));
+    topo.add_link(sw, h, link_bps, link_delay_s);
+  }
+  return topo;
+}
+
+}  // namespace hermes::net

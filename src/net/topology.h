@@ -1,0 +1,101 @@
+// Network topology: nodes (hosts and switches) and capacitated links.
+//
+// Used by the Varys flow-level simulator (Section 8.1.1) and the
+// traffic-engineering SDNApp. Builders for the paper's topologies — a k-ary
+// fat-tree data center and the Abilene / Geant / Quest ISP graphs — live in
+// this module as free functions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hermes::net {
+
+using NodeId = int;
+using LinkId = int;
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+enum class NodeKind : std::uint8_t { kHost, kSwitch };
+
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeKind kind = NodeKind::kSwitch;
+  std::string name;
+};
+
+/// A bidirectional link. Capacity applies independently per direction
+/// (full duplex), matching how flow-level simulators account bandwidth.
+struct Link {
+  LinkId id = kInvalidLink;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double capacity_bps = 0.0;
+  double delay_s = 0.0;  ///< one-way propagation delay
+
+  NodeId other(NodeId n) const { return n == a ? b : a; }
+};
+
+/// An undirected multigraph with adjacency lists.
+class Topology {
+ public:
+  NodeId add_node(NodeKind kind, std::string name);
+  LinkId add_link(NodeId a, NodeId b, double capacity_bps, double delay_s);
+
+  const Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  const Link& link(LinkId id) const { return links_[static_cast<std::size_t>(id)]; }
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int link_count() const { return static_cast<int>(links_.size()); }
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Link>& links() const { return links_; }
+
+  /// Links incident to `n`.
+  const std::vector<LinkId>& links_of(NodeId n) const {
+    return adjacency_[static_cast<std::size_t>(n)];
+  }
+
+  /// All host (server) node ids, in id order.
+  std::vector<NodeId> hosts() const;
+  /// All switch node ids, in id order.
+  std::vector<NodeId> switches() const;
+
+  /// The link between `a` and `b`, or kInvalidLink if none.
+  LinkId find_link(NodeId a, NodeId b) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;
+};
+
+/// A path is the node sequence from source to destination (inclusive).
+using Path = std::vector<NodeId>;
+
+/// Link ids along a path; empty when the path is invalid.
+std::vector<LinkId> path_links(const Topology& topo, const Path& path);
+
+// --- Topology builders (Section 8.1.3) ------------------------------------
+
+/// k-ary fat-tree [Al-Fares et al.]: (k/2)^2 core switches, k pods with
+/// k/2 aggregation + k/2 edge switches each, and (k^3)/4 hosts. The paper's
+/// Facebook experiments use k=16 (1024 hosts) with 40 Gbps links.
+Topology fat_tree(int k, double link_bps = 40e9, double link_delay_s = 2e-6);
+
+/// Internet2 Abilene backbone (12 PoPs, 15 links), 10 Gbps trunks.
+Topology abilene();
+
+/// GEANT European research network (23 nodes, 37 links), mixed trunks.
+Topology geant();
+
+/// Quest topology from the Internet Topology Zoo (20 nodes, 31 links).
+Topology quest();
+
+/// A single switch directly attached to `num_hosts` hosts, used by the
+/// MicroBench and BGP experiments ("simple topology with just one switch").
+Topology single_switch(int num_hosts, double link_bps = 10e9,
+                       double link_delay_s = 5e-6);
+
+}  // namespace hermes::net

@@ -1,0 +1,74 @@
+// A deterministic discrete-event queue: events at equal timestamps fire
+// in scheduling order (a monotone sequence number breaks ties).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "net/time.h"
+
+namespace hermes::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(Time)>;
+
+  /// Schedules `cb` at absolute time `t` (>= now()).
+  void schedule(Time t, Callback cb) {
+    assert(t >= now_);
+    heap_.push(Entry{t, seq_++, std::move(cb)});
+  }
+
+  /// Convenience: schedule `delay` after now().
+  void schedule_in(Duration delay, Callback cb) {
+    schedule(now_ + delay, std::move(cb));
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  Time now() const { return now_; }
+
+  /// Pops and runs the earliest event; returns false when empty.
+  bool run_next() {
+    if (heap_.empty()) return false;
+    // Entry's callback is moved out before pop (top() is const; the
+    // callback is mutable to allow the move).
+    const Entry& top = heap_.top();
+    now_ = top.time;
+    Callback cb = std::move(top.callback);
+    heap_.pop();
+    cb(now_);
+    return true;
+  }
+
+  /// Runs all events with time <= t, then advances the clock to t.
+  void run_until(Time t) {
+    while (!heap_.empty() && heap_.top().time <= t) run_next();
+    if (t > now_) now_ = t;
+  }
+
+  /// Runs to exhaustion (with a safety cap for runaway schedules).
+  void run_all(std::uint64_t max_events = ~std::uint64_t{0}) {
+    while (max_events-- > 0 && run_next()) {
+    }
+  }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    mutable Callback callback;
+    bool operator>(const Entry& o) const {
+      return time > o.time || (time == o.time && seq > o.seq);
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::uint64_t seq_ = 0;
+  Time now_ = 0;
+};
+
+}  // namespace hermes::sim

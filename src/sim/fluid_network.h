@@ -1,0 +1,78 @@
+// Flow-level (fluid) network model with max-min fair bandwidth sharing —
+// the data-plane half of the Varys simulator (Section 8.1.1).
+//
+// Flows are fluid: each active flow drains at the max-min fair rate its
+// path permits. Whenever the flow set or any path changes, rates are
+// recomputed by progressive filling; between changes every flow's
+// remaining volume shrinks linearly, so the next completion time is
+// exact, not approximated.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/time.h"
+#include "net/topology.h"
+
+namespace hermes::sim {
+
+using FlowId = int;
+inline constexpr FlowId kInvalidFlow = -1;
+
+class FluidNetwork {
+ public:
+  explicit FluidNetwork(const net::Topology& topology);
+
+  /// Registers a flow of `bytes` over the links of `path`. The caller must
+  /// have advanced the network to `now` (all mutators require it).
+  FlowId add_flow(double bytes, const std::vector<net::LinkId>& links,
+                  Time now);
+
+  /// Removes a flow (completion or cancellation).
+  void remove_flow(FlowId id, Time now);
+
+  /// Moves a flow onto a different set of links (TE reroute).
+  void reroute_flow(FlowId id, const std::vector<net::LinkId>& links,
+                    Time now);
+
+  /// Drains all flows up to `now` at their current rates. Monotone.
+  void advance_to(Time now);
+
+  /// The earliest upcoming completion under current rates.
+  struct NextCompletion {
+    FlowId flow = kInvalidFlow;
+    Time time = 0;
+  };
+  std::optional<NextCompletion> next_completion() const;
+
+  double remaining_bytes(FlowId id) const;
+  double rate_bytes_per_s(FlowId id) const;
+  const std::vector<net::LinkId>& links_of(FlowId id) const;
+
+  /// Fraction of link capacity currently in use, in [0, 1].
+  double link_utilization(net::LinkId link) const;
+  /// Utilization of every link in one pass (for the TE scan).
+  std::vector<double> all_link_utilization() const;
+  /// Active flows traversing `link`.
+  std::vector<FlowId> flows_on_link(net::LinkId link) const;
+
+  int active_flow_count() const { return static_cast<int>(flows_.size()); }
+
+ private:
+  struct FlowState {
+    double remaining = 0;
+    double rate = 0;  // bytes/s
+    std::vector<net::LinkId> links;
+  };
+
+  void recompute_rates();
+
+  const net::Topology* topology_;
+  std::vector<double> link_capacity_;  // bytes/s per link
+  std::unordered_map<FlowId, FlowState> flows_;
+  FlowId next_id_ = 0;
+  Time last_advance_ = 0;
+};
+
+}  // namespace hermes::sim

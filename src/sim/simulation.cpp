@@ -1,0 +1,343 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hermes::sim {
+
+namespace {
+
+/// Every flow gets a unique virtual /32 so its per-flow rules are distinct
+/// match keys on every switch (the flow-level analogue of 5-tuple rules).
+net::Prefix flow_match(int flow_idx) {
+  return net::Prefix(
+      net::Ipv4Address(0x0A000000u |
+                       (static_cast<std::uint32_t>(flow_idx) + 1)),
+      32);
+}
+
+}  // namespace
+
+Simulation::Simulation(const net::Topology& topology, SimConfig config)
+    : topology_(&topology),
+      config_(std::move(config)),
+      network_(topology),
+      paths_(topology, config_.paths_per_pair, net::hop_count()),
+      rng_(config_.seed) {
+  if (config_.backend_factory) {
+    for (net::NodeId sw : topology.switches()) {
+      backends_.emplace(sw,
+                        config_.backend_factory(sw, topology.node(sw).name));
+    }
+  }
+}
+
+Simulation::~Simulation() = default;
+
+void Simulation::add_jobs(const std::vector<workloads::Job>& jobs) {
+  for (const workloads::Job& job : jobs) {
+    JobTracker tracker;
+    tracker.spec = job;
+    tracker.outstanding = static_cast<int>(job.flows.size());
+    jobs_.emplace(job.id, std::move(tracker));
+    for (const workloads::FlowSpec& spec : job.flows) {
+      ++outstanding_flows_;
+      events_.schedule(job.arrival, [this, id = job.id, spec](Time now) {
+        start_flow(now, id, spec);
+      });
+    }
+  }
+}
+
+void Simulation::add_flows(const std::vector<workloads::FlowArrival>& flows) {
+  for (const workloads::FlowArrival& arrival : flows) {
+    ++outstanding_flows_;
+    events_.schedule(arrival.time, [this, spec = arrival.flow](Time now) {
+      start_flow(now, -1, spec);
+    });
+  }
+}
+
+void Simulation::run() {
+  if (outstanding_flows_ == 0) return;
+  // Kick off the recurring TE cycle and backend maintenance ticks; each
+  // reschedules itself while flows remain outstanding.
+  events_.schedule(config_.te_period, [this](Time now) { te_cycle(now); });
+  events_.schedule(from_millis(10),
+                   [this](Time t) { tick_backends_and_reschedule(t); });
+  events_.run_all(/*max_events=*/200'000'000ull);
+  assert(outstanding_flows_ == 0 && "simulation ended with active flows");
+}
+
+void Simulation::tick_backends(Time now) {
+  for (auto& [sw, backend] : backends_) backend->tick(now);
+}
+
+void Simulation::tick_backends_and_reschedule(Time now) {
+  tick_backends(now);
+  if (outstanding_flows_ > 0)
+    events_.schedule(now + from_millis(10),
+                     [this](Time t) { tick_backends_and_reschedule(t); });
+}
+
+net::Path Simulation::initial_path(net::NodeId src, net::NodeId dst,
+                                   std::uint64_t salt) {
+  const auto& candidates = paths_.paths(src, dst);
+  assert(!candidates.empty() && "no path between hosts");
+  // Deterministic ECMP-style spreading by flow identity.
+  return candidates[salt % candidates.size()];
+}
+
+void Simulation::start_flow(Time now, int job_id,
+                            const workloads::FlowSpec& spec) {
+  network_.advance_to(now);
+  int flow_idx = static_cast<int>(flows_.size());
+  ActiveFlow flow;
+  flow.job_id = job_id;
+  flow.bytes = spec.bytes;
+  flow.arrival = now;
+  flow.path = initial_path(spec.src, spec.dst,
+                           static_cast<std::uint64_t>(flow_idx) * 2654435761u);
+  auto links = net::path_links(*topology_, flow.path);
+  flow.fluid_id = network_.add_flow(spec.bytes, links, now);
+  fluid_to_idx_.emplace(flow.fluid_id, flow_idx);
+  flows_.push_back(std::move(flow));
+  schedule_next_completion();
+}
+
+void Simulation::complete_flow(Time now, FlowId fluid_id) {
+  auto it = fluid_to_idx_.find(fluid_id);
+  if (it == fluid_to_idx_.end()) return;  // already handled
+  int flow_idx = it->second;
+  ActiveFlow& flow = flows_[static_cast<std::size_t>(flow_idx)];
+
+  network_.remove_flow(fluid_id, now);
+  fluid_to_idx_.erase(it);
+
+  // Controller housekeeping: retire the flow's per-flow rules (deletes
+  // are cheap but still exercise the control channel).
+  for (std::size_t i = 0; i < flow.installed_rules.size(); ++i) {
+    auto backend_it = backends_.find(flow.rule_switches[i]);
+    if (backend_it == backends_.end()) continue;
+    net::FlowMod del{net::FlowModType::kDelete,
+                     net::Rule{flow.installed_rules[i], 0, {}, {}}};
+    backend_it->second->handle(now, del);
+  }
+  flow.installed_rules.clear();
+  flow.rule_switches.clear();
+
+  FlowResult result;
+  result.job_id = flow.job_id;
+  result.bytes = flow.bytes;
+  result.arrival = flow.arrival;
+  result.completion = now;
+  if (config_.include_propagation_in_fct) {
+    double delay_s = 0;
+    for (net::LinkId l : net::path_links(*topology_, flow.path))
+      delay_s += topology_->link(l).delay_s;
+    result.completion += from_seconds(delay_s);
+  }
+  result.moves = flow.moves;
+  results_.push_back(result);
+
+  if (flow.job_id >= 0) {
+    JobTracker& tracker = jobs_.at(flow.job_id);
+    tracker.completion = std::max(tracker.completion, result.completion);
+    --tracker.outstanding;
+  }
+  --outstanding_flows_;
+  schedule_next_completion();
+}
+
+void Simulation::schedule_next_completion() {
+  ++completion_version_;
+  auto next = network_.next_completion();
+  if (!next) return;
+  std::uint64_t version = completion_version_;
+  Time when = std::max(next->time, events_.now());
+  events_.schedule(when, [this, version, flow = next->flow](Time now) {
+    if (version != completion_version_) return;  // superseded
+    network_.advance_to(now);
+    complete_flow(now, flow);
+  });
+}
+
+void Simulation::te_cycle(Time now) {
+  network_.advance_to(now);
+  if (outstanding_flows_ > 0) {
+    events_.schedule(now + config_.te_period,
+                     [this](Time t) { te_cycle(t); });
+  }
+  if (network_.active_flow_count() == 0) return;
+
+  std::vector<double> utilization = network_.all_link_utilization();
+
+  // Planned moves update the utilization snapshot as we go, so flows
+  // escaping the same hot link spread over different alternatives instead
+  // of stampeding onto one (the classic synchronized-TE oscillation).
+  auto flow_util_delta = [&](double rate, const net::Path& path,
+                             double sign) {
+    for (net::LinkId l : net::path_links(*topology_, path)) {
+      double cap = topology_->link(l).capacity_bps / 8.0;
+      if (cap > 0)
+        utilization[static_cast<std::size_t>(l)] += sign * rate / cap;
+    }
+  };
+  auto path_max_util = [&](const net::Path& path) {
+    double max_util = 0;
+    for (net::LinkId l : net::path_links(*topology_, path))
+      max_util =
+          std::max(max_util, utilization[static_cast<std::size_t>(l)]);
+    return max_util;
+  };
+
+  // Global re-placement (the Section 8.1.1 SDNApp): every period, every
+  // active flow is re-evaluated and moved to a clearly better path when
+  // one exists — biggest flows first, bottlenecked flows prioritized.
+  std::vector<FlowId> active;
+  active.reserve(static_cast<std::size_t>(network_.active_flow_count()));
+  for (const auto& [fid, idx] : fluid_to_idx_) active.push_back(fid);
+  std::sort(active.begin(), active.end(), [&](FlowId a, FlowId b) {
+    double ra = network_.rate_bytes_per_s(a);
+    double rb = network_.rate_bytes_per_s(b);
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+
+  int moves_left = config_.max_moves_per_cycle;
+  for (FlowId fid : active) {
+    if (moves_left <= 0) break;
+    int flow_idx = fluid_to_idx_.at(fid);
+    ActiveFlow& flow = flows_[static_cast<std::size_t>(flow_idx)];
+    if (flow.move_in_progress) continue;
+
+    double current_max = path_max_util(flow.path);
+    if (current_max <= config_.congestion_threshold) continue;
+
+    // Best candidate: the path whose most-utilized link is least
+    // utilized, and clearly better than the current bottleneck.
+    const auto& candidates =
+        paths_.paths(flow.path.front(), flow.path.back());
+    const net::Path* best = nullptr;
+    double best_max_util = current_max - config_.improvement_margin;
+    for (const net::Path& candidate : candidates) {
+      if (candidate == flow.path) continue;
+      double max_util = path_max_util(candidate);
+      if (max_util < best_max_util) {
+        best_max_util = max_util;
+        best = &candidate;
+      }
+    }
+    if (!best) continue;
+    double rate = network_.rate_bytes_per_s(fid);
+    flow_util_delta(rate, flow.path, -1.0);
+    flow_util_delta(rate, *best, +1.0);
+    start_move(now, flow_idx, *best);
+    --moves_left;
+  }
+}
+
+void Simulation::start_move(Time now, int flow_idx,
+                            const net::Path& new_path) {
+  ActiveFlow& flow = flows_[static_cast<std::size_t>(flow_idx)];
+  flow.move_in_progress = true;
+  int token = ++move_tokens_[flow_idx];
+
+  std::vector<net::RuleId> new_rules;
+  std::vector<net::NodeId> new_switches;
+  Time done = now;
+  std::uniform_int_distribution<int> prio(config_.rule_priority_min,
+                                          config_.rule_priority_max);
+  for (std::size_t i = 0; i + 1 < new_path.size(); ++i) {
+    net::NodeId node = new_path[i];
+    if (topology_->node(node).kind != net::NodeKind::kSwitch) continue;
+    net::Rule rule{next_rule_id(), prio(rng_), flow_match(flow_idx),
+                   net::forward_to(static_cast<int>(new_path[i + 1]) % 48)};
+    new_rules.push_back(rule.id);
+    new_switches.push_back(node);
+    auto backend_it = backends_.find(node);
+    if (backend_it == backends_.end()) continue;  // perfect control plane
+    Time completed =
+        backend_it->second->handle(now, {net::FlowModType::kInsert, rule});
+    done = std::max(done, completed);
+  }
+
+  events_.schedule(std::max(done, now),
+                   [this, flow_idx, token, new_path, new_rules,
+                    new_switches](Time t) {
+                     finish_move(t, flow_idx, token, new_path, new_rules,
+                                 new_switches);
+                   });
+}
+
+void Simulation::finish_move(Time now, int flow_idx, int move_token,
+                             const net::Path& new_path,
+                             std::vector<net::RuleId> new_rules,
+                             std::vector<net::NodeId> new_switches) {
+  if (move_tokens_[flow_idx] != move_token) return;  // superseded
+  ActiveFlow& flow = flows_[static_cast<std::size_t>(flow_idx)];
+  flow.move_in_progress = false;
+
+  auto cleanup_rules = [&](const std::vector<net::RuleId>& rules,
+                           const std::vector<net::NodeId>& switches) {
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      auto backend_it = backends_.find(switches[i]);
+      if (backend_it == backends_.end()) continue;
+      net::FlowMod del{net::FlowModType::kDelete,
+                       net::Rule{rules[i], 0, {}, {}}};
+      backend_it->second->handle(now, del);
+    }
+  };
+
+  if (!fluid_to_idx_.count(flow.fluid_id)) {
+    // The flow finished on its old path before the rules landed.
+    cleanup_rules(new_rules, new_switches);
+    return;
+  }
+
+  network_.advance_to(now);
+  network_.reroute_flow(flow.fluid_id,
+                        net::path_links(*topology_, new_path), now);
+  cleanup_rules(flow.installed_rules, flow.rule_switches);
+  flow.installed_rules = std::move(new_rules);
+  flow.rule_switches = std::move(new_switches);
+  flow.path = new_path;
+  ++flow.moves;
+  ++total_moves_;
+  schedule_next_completion();
+}
+
+std::vector<JobResult> Simulation::job_results() const {
+  std::vector<JobResult> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, tracker] : jobs_) {
+    JobResult r;
+    r.job_id = id;
+    r.bytes = tracker.spec.total_bytes();
+    r.is_short = tracker.spec.is_short();
+    r.arrival = tracker.spec.arrival;
+    r.completion = tracker.completion;
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JobResult& a, const JobResult& b) {
+              return a.job_id < b.job_id;
+            });
+  return out;
+}
+
+std::vector<Duration> Simulation::all_rit_samples() const {
+  std::vector<Duration> out;
+  for (const auto& [sw, backend] : backends_) {
+    const auto& samples = backend->rit_samples();
+    out.insert(out.end(), samples.begin(), samples.end());
+  }
+  return out;
+}
+
+baselines::SwitchBackend* Simulation::backend(net::NodeId switch_id) {
+  auto it = backends_.find(switch_id);
+  return it == backends_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace hermes::sim

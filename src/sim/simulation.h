@@ -1,0 +1,163 @@
+// Varys: the flow-level network simulator of Section 8.1.1, with the
+// proactive traffic-engineering SDNApp of Section 2.2 / 8.1.1.
+//
+// The SDNApp periodically scans link utilization and moves flows off
+// congested links onto less utilized candidate paths. Each move issues
+// per-flow rules (flow-mods) to every switch along the new path through
+// that switch's control-plane backend (plain / ESPRES / Tango / Hermes);
+// the flow keeps using its OLD (congested) path until the LAST switch
+// finishes installing — this is precisely how slow control-plane actions
+// inflate FCT and JCT (Figure 1).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/switch_backend.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "sim/event_queue.h"
+#include "sim/fluid_network.h"
+#include "workloads/trace.h"
+
+namespace hermes::sim {
+
+/// Builds one control-plane backend per switch. Receives the switch's
+/// topology node id and name.
+using BackendFactory =
+    std::function<std::unique_ptr<baselines::SwitchBackend>(
+        net::NodeId, const std::string&)>;
+
+struct SimConfig {
+  // Traffic-engineering application.
+  Duration te_period = from_millis(100);
+  double congestion_threshold = 0.75;  ///< link utilization trigger
+  int max_moves_per_cycle = 32;
+  double improvement_margin = 0.1;  ///< required utilization headroom
+
+  // Routing.
+  int paths_per_pair = 4;
+
+  // Flow rules issued by the TE app. A narrow band above the switch's
+  // steady-state rules: per-flow rules outrank the baseline FIB, while
+  // same-priority rules are common enough for aggregation-style
+  // optimizers to find structure.
+  int rule_priority_min = 100;
+  int rule_priority_max = 104;
+
+  /// Add the path's one-way propagation delay to each flow's completion
+  /// time (data must still traverse the wire after the last byte leaves).
+  /// Negligible on a data-center fat-tree; milliseconds on WAN paths —
+  /// the RTT effect the paper notes when contrasting DC and ISP results.
+  bool include_propagation_in_fct = true;
+
+  // Control plane. Null factory => perfect (zero-latency) control plane.
+  BackendFactory backend_factory;
+
+  std::uint64_t seed = 1;
+};
+
+struct FlowResult {
+  int job_id = -1;  ///< -1 for job-less (ISP) flows
+  double bytes = 0;
+  Time arrival = 0;
+  Time completion = 0;
+  int moves = 0;  ///< times the TE app rerouted it
+
+  double fct_s() const { return to_seconds(completion - arrival); }
+};
+
+struct JobResult {
+  int job_id = 0;
+  double bytes = 0;
+  bool is_short = false;
+  Time arrival = 0;
+  Time completion = 0;
+
+  double jct_s() const { return to_seconds(completion - arrival); }
+};
+
+class Simulation {
+ public:
+  Simulation(const net::Topology& topology, SimConfig config);
+  ~Simulation();
+
+  /// Queues workload before run().
+  void add_jobs(const std::vector<workloads::Job>& jobs);
+  void add_flows(const std::vector<workloads::FlowArrival>& flows);
+
+  /// Runs to completion of all queued flows.
+  void run();
+
+  const std::vector<FlowResult>& flow_results() const { return results_; }
+  std::vector<JobResult> job_results() const;
+
+  /// Rule-installation samples aggregated across all switch backends.
+  std::vector<Duration> all_rit_samples() const;
+
+  /// Per-backend access (e.g. for Hermes stats).
+  baselines::SwitchBackend* backend(net::NodeId switch_id);
+
+  int total_moves() const { return total_moves_; }
+
+ private:
+  struct ActiveFlow {
+    int job_id = -1;
+    double bytes = 0;
+    Time arrival = 0;
+    FlowId fluid_id = kInvalidFlow;
+    net::Path path;
+    int moves = 0;
+    bool move_in_progress = false;
+    std::vector<net::RuleId> installed_rules;  // one per switch on path
+    std::vector<net::NodeId> rule_switches;
+  };
+
+  void start_flow(Time now, int job_id, const workloads::FlowSpec& spec);
+  void complete_flow(Time now, FlowId fluid_id);
+  void schedule_next_completion();
+  void te_cycle(Time now);
+  void start_move(Time now, int flow_idx, const net::Path& new_path);
+  void finish_move(Time now, int flow_idx, int move_token,
+                   const net::Path& new_path,
+                   std::vector<net::RuleId> new_rules,
+                   std::vector<net::NodeId> new_switches);
+  net::Path initial_path(net::NodeId src, net::NodeId dst,
+                         std::uint64_t salt);
+  net::RuleId next_rule_id() { return rule_id_counter_++; }
+  void tick_backends(Time now);
+  void tick_backends_and_reschedule(Time now);
+
+  const net::Topology* topology_;
+  SimConfig config_;
+  EventQueue events_;
+  FluidNetwork network_;
+  net::PathDatabase paths_;
+  std::mt19937_64 rng_;
+
+  std::unordered_map<net::NodeId, std::unique_ptr<baselines::SwitchBackend>>
+      backends_;
+
+  std::vector<ActiveFlow> flows_;               // indexed by flow_idx
+  std::unordered_map<FlowId, int> fluid_to_idx_;
+  std::unordered_map<int, int> move_tokens_;    // flow_idx -> token
+
+  struct JobTracker {
+    workloads::Job spec;
+    int outstanding = 0;
+    Time completion = 0;
+  };
+  std::unordered_map<int, JobTracker> jobs_;
+
+  std::vector<FlowResult> results_;
+  std::uint64_t completion_version_ = 0;
+  net::RuleId rule_id_counter_ = 1;
+  int total_moves_ = 0;
+  int outstanding_flows_ = 0;
+};
+
+}  // namespace hermes::sim

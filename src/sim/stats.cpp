@@ -1,0 +1,71 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace hermes::sim {
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(samples.begin(), samples.end());
+  double idx = q * static_cast<double>(samples.size() - 1);
+  auto lo = static_cast<std::size_t>(idx);
+  std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return samples[lo] * (1 - frac) + samples[hi] * frac;
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+           static_cast<double>(sorted.size());
+  auto at = [&](double q) {
+    double idx = q * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(idx);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+  };
+  s.median = at(0.5);
+  s.p95 = at(0.95);
+  s.p99 = at(0.99);
+  return s;
+}
+
+std::vector<std::pair<double, double>> cdf(
+    const std::vector<double>& samples, int points) {
+  std::vector<std::pair<double, double>> out;
+  if (samples.empty() || points <= 0) return out;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  out.reserve(static_cast<std::size_t>(points) + 1);
+  for (int i = 1; i <= points; ++i) {
+    double q = static_cast<double>(i) / points;
+    auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+    out.emplace_back(sorted[idx], q);
+  }
+  return out;
+}
+
+std::string format_summary(const std::string& name, const Summary& s,
+                           const std::string& unit) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-28s n=%6zu  med=%10.3f  mean=%10.3f  p95=%10.3f  "
+                "p99=%10.3f  max=%10.3f %s",
+                name.c_str(), s.count, s.median, s.mean, s.p95, s.p99,
+                s.max, unit.c_str());
+  return buf;
+}
+
+}  // namespace hermes::sim

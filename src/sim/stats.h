@@ -1,0 +1,35 @@
+// Small statistics helpers shared by tests and the benchmark harnesses
+// (CDFs and percentile summaries in the paper's reporting format).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hermes::sim {
+
+/// q in [0, 1]; linear interpolation between order statistics.
+/// Returns 0 for an empty sample.
+double percentile(std::vector<double> samples, double q);
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double median = 0;
+  double mean = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+Summary summarize(const std::vector<double>& samples);
+
+/// CDF evaluated at `points` evenly spaced quantiles (plus the max),
+/// as (value, cumulative_probability) pairs — one row per paper CDF line.
+std::vector<std::pair<double, double>> cdf(
+    const std::vector<double>& samples, int points = 20);
+
+/// Formats a one-line summary: "name: n=.. med=.. p95=.. p99=.. max=..".
+std::string format_summary(const std::string& name, const Summary& s,
+                           const std::string& unit);
+
+}  // namespace hermes::sim

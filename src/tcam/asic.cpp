@@ -1,0 +1,117 @@
+#include "tcam/asic.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hermes::tcam {
+
+Asic::Asic(const SwitchModel& model, std::vector<int> slice_sizes)
+    : model_(&model) {
+  assert(!slice_sizes.empty());
+  slices_.reserve(slice_sizes.size());
+  for (int size : slice_sizes) slices_.emplace_back(size);
+  busy_until_.assign(slice_sizes.size(), 0);
+}
+
+int Asic::total_capacity() const {
+  int total = 0;
+  for (const TcamTable& t : slices_) total += t.capacity();
+  return total;
+}
+
+int Asic::total_occupancy() const {
+  int total = 0;
+  for (const TcamTable& t : slices_) total += t.occupancy();
+  return total;
+}
+
+ApplyResult Asic::apply(int slice_idx, const net::FlowMod& mod) {
+  TcamTable& table = slice(slice_idx);
+  switch (mod.type) {
+    case net::FlowModType::kInsert: {
+      OpResult r = table.insert(mod.rule);
+      // A failed insert still costs a (wasted) control-channel round.
+      return {r.ok, r.ok ? model_->insert_latency(r.shifts)
+                         : model_->base_latency(),
+              r.shifts};
+    }
+    case net::FlowModType::kDelete: {
+      OpResult r = table.erase(mod.rule.id);
+      return {r.ok, model_->delete_latency(), 0};
+    }
+    case net::FlowModType::kModify: {
+      auto existing = table.find(mod.rule.id);
+      if (!existing) return {false, model_->base_latency(), 0};
+      if (existing->priority == mod.rule.priority) {
+        // Constant-time in-place rewrite (Section 2.1.1).
+        table.modify_match(mod.rule.id, mod.rule.match);
+        table.modify_action(mod.rule.id, mod.rule.action);
+        return {true, model_->modify_latency(), 0};
+      }
+      // Priority change: delete + insert (Section 4.1).
+      table.erase(mod.rule.id);
+      OpResult ins = table.insert(mod.rule);
+      return {ins.ok,
+              model_->delete_latency() + model_->insert_latency(ins.shifts),
+              ins.shifts};
+    }
+  }
+  return {false, 0, 0};
+}
+
+std::optional<net::Rule> Asic::lookup(net::Ipv4Address addr) {
+  for (TcamTable& t : slices_) {
+    if (auto rule = t.lookup(addr)) return rule;
+  }
+  return std::nullopt;
+}
+
+Time Asic::submit_batch_insert(Time now, int slice_idx,
+                               const std::vector<net::Rule>& rules,
+                               BatchResult* result) {
+  TcamTable& table = slice(slice_idx);
+  int occupancy_before = table.occupancy();
+  int inserted = 0;
+  for (const net::Rule& r : rules) {
+    if (!table.insert(r).ok) break;
+    ++inserted;
+  }
+  Duration latency =
+      model_->batch_insert_latency(occupancy_before, inserted);
+  Time& channel = busy_until_[static_cast<std::size_t>(slice_idx)];
+  Time start = std::max(now, channel);
+  Time done = start + latency;
+  channel = done;
+  if (result) *result = {inserted, latency};
+  return done;
+}
+
+Time Asic::submit_batch_delete(Time now, int slice_idx,
+                               const std::vector<net::RuleId>& ids,
+                               BatchResult* result) {
+  TcamTable& table = slice(slice_idx);
+  int removed = 0;
+  for (net::RuleId id : ids) {
+    if (table.erase(id).ok) ++removed;
+  }
+  Duration latency = model_->batch_delete_latency(removed);
+  Time& channel = busy_until_[static_cast<std::size_t>(slice_idx)];
+  Time start = std::max(now, channel);
+  Time done = start + latency;
+  channel = done;
+  if (result) *result = {removed, latency};
+  return done;
+}
+
+Time Asic::submit(Time now, int slice_idx, const net::FlowMod& mod,
+                  ApplyResult* result) {
+  ApplyResult r = apply(slice_idx, mod);
+  Time& channel = busy_until_[static_cast<std::size_t>(slice_idx)];
+  Time start = std::max(now, channel);
+  Time done = start + r.latency;
+  channel = done;
+  if (result) *result = r;
+  return done;
+}
+
+}  // namespace hermes::tcam

@@ -1,0 +1,101 @@
+// A switch ASIC: carved TCAM slices + the empirical latency model, with a
+// serialized control channel.
+//
+// Section 6: commodity ASICs expose "TCAM carving" — the TCAM is split
+// into slices, the hardware looks up all slices in parallel, and
+// cross-slice conflicts resolve by pre-configured slice precedence.
+// Hermes runs on exactly this substrate: slice 0 (highest precedence)
+// becomes the shadow table and slice 1 the main table. A monolithic
+// baseline switch is simply an Asic carved into a single slice.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/rule.h"
+#include "net/time.h"
+#include "tcam/switch_model.h"
+#include "tcam/tcam_table.h"
+
+namespace hermes::tcam {
+
+/// Outcome of one control-plane action against the ASIC.
+struct ApplyResult {
+  bool ok = false;
+  Duration latency = 0;  ///< time the TCAM update engine was busy
+  int shifts = 0;        ///< entries the hardware moved
+};
+
+class Asic {
+ public:
+  /// Carves the TCAM into `slice_sizes` slices. Slice 0 has the highest
+  /// lookup precedence. All slices share the control channel.
+  Asic(const SwitchModel& model, std::vector<int> slice_sizes);
+
+  const SwitchModel& model() const { return *model_; }
+
+  int slice_count() const { return static_cast<int>(slices_.size()); }
+  TcamTable& slice(int i) { return slices_[static_cast<std::size_t>(i)]; }
+  const TcamTable& slice(int i) const {
+    return slices_[static_cast<std::size_t>(i)];
+  }
+
+  /// Total TCAM entries across slices (the carving budget).
+  int total_capacity() const;
+  int total_occupancy() const;
+
+  /// Executes one flow-mod against slice `slice_idx` and returns its
+  /// mechanics + latency. A modify that changes priority is decomposed
+  /// into delete + insert (Section 4.1, "Rule Modification").
+  ApplyResult apply(int slice_idx, const net::FlowMod& mod);
+
+  /// Data-plane lookup: parallel across slices, precedence by slice index
+  /// (slice 0 wins). This is how the hardware resolves shadow-vs-main.
+  std::optional<net::Rule> lookup(net::Ipv4Address addr);
+
+  /// Serialized control channel: each slice is a separate logical group in
+  /// the SDK with its own update engine, so updates serialize per slice.
+  /// (This mirrors the paper's Section 8.7 observation that background
+  /// main-table migration does not stall guaranteed shadow-table inserts.)
+  /// Submitting at `now` starts the op at max(now, busy_until(slice)) and
+  /// returns its completion time.
+  Time submit(Time now, int slice_idx, const net::FlowMod& mod,
+              ApplyResult* result = nullptr);
+
+  /// Outcome of a batched insert.
+  struct BatchResult {
+    int inserted = 0;      ///< rules that fit (prefix of the span)
+    Duration latency = 0;  ///< single optimized-batch channel occupation
+  };
+
+  /// Inserts `rules` as one optimized batch (the migration fast path,
+  /// Section 5.2): the whole batch occupies the slice's channel for
+  /// SwitchModel::batch_insert_latency(..) rather than per-rule insert
+  /// costs. Rules that do not fit are skipped (reported via `result`).
+  Time submit_batch_insert(Time now, int slice_idx,
+                           const std::vector<net::Rule>& rules,
+                           BatchResult* result = nullptr);
+
+  /// Deletes `ids` as one batch (the shadow-emptying step of migration);
+  /// missing ids are ignored. One channel occupation for the whole batch.
+  Time submit_batch_delete(Time now, int slice_idx,
+                           const std::vector<net::RuleId>& ids,
+                           BatchResult* result = nullptr);
+
+  Time busy_until(int slice_idx) const {
+    return busy_until_[static_cast<std::size_t>(slice_idx)];
+  }
+
+  /// Forgets channel serialization state (fresh epoch between experiments).
+  void reset_channel() {
+    for (Time& t : busy_until_) t = 0;
+  }
+
+ private:
+  const SwitchModel* model_;
+  std::vector<TcamTable> slices_;
+  std::vector<Time> busy_until_;
+};
+
+}  // namespace hermes::tcam

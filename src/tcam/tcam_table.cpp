@@ -1,0 +1,97 @@
+#include "tcam/tcam_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hermes::tcam {
+
+TcamTable::TcamTable(int capacity) : capacity_(capacity > 0 ? capacity : 0) {
+  entries_.reserve(static_cast<std::size_t>(capacity_));
+}
+
+OpResult TcamTable::insert(const net::Rule& rule) {
+  if (full() || contains(rule.id)) {
+    ++stats_.failed_inserts;
+    return {false, 0};
+  }
+  // Insertion point: after every entry with priority >= rule.priority.
+  // (Equal-priority entries keep arrival order; a new lowest-priority
+  // rule appends at the bottom with zero shifts.)
+  auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), rule.priority,
+      [](int priority, const net::Rule& r) { return priority > r.priority; });
+  int shifts = static_cast<int>(entries_.end() - pos);
+  entries_.insert(pos, rule);
+  ++stats_.inserts;
+  stats_.total_shifts += static_cast<std::uint64_t>(shifts);
+  return {true, shifts};
+}
+
+OpResult TcamTable::erase(net::RuleId id) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const net::Rule& r) { return r.id == id; });
+  if (it == entries_.end()) return {false, 0};
+  entries_.erase(it);
+  ++stats_.deletes;
+  return {true, 0};
+}
+
+OpResult TcamTable::modify_action(net::RuleId id, const net::Action& action) {
+  for (net::Rule& r : entries_) {
+    if (r.id == id) {
+      r.action = action;
+      ++stats_.modifies;
+      return {true, 0};
+    }
+  }
+  return {false, 0};
+}
+
+OpResult TcamTable::modify_match(net::RuleId id, const net::Prefix& match) {
+  for (net::Rule& r : entries_) {
+    if (r.id == id) {
+      r.match = match;
+      ++stats_.modifies;
+      return {true, 0};
+    }
+  }
+  return {false, 0};
+}
+
+std::optional<net::Rule> TcamTable::lookup(net::Ipv4Address addr) {
+  ++stats_.lookups;
+  return peek(addr);
+}
+
+std::optional<net::Rule> TcamTable::peek(net::Ipv4Address addr) const {
+  for (const net::Rule& r : entries_) {
+    if (r.match.contains(addr)) return r;
+  }
+  return std::nullopt;
+}
+
+bool TcamTable::contains(net::RuleId id) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const net::Rule& r) { return r.id == id; });
+}
+
+std::optional<net::Rule> TcamTable::find(net::RuleId id) const {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const net::Rule& r) { return r.id == id; });
+  if (it == entries_.end()) return std::nullopt;
+  return *it;
+}
+
+std::vector<net::Rule> TcamTable::rules() const { return entries_; }
+
+void TcamTable::clear() { entries_.clear(); }
+
+bool TcamTable::check_invariant() const {
+  if (static_cast<int>(entries_.size()) > capacity_) return false;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].priority > entries_[i - 1].priority) return false;
+  }
+  return true;
+}
+
+}  // namespace hermes::tcam

@@ -1,0 +1,98 @@
+// Mechanical model of a single TCAM table (one slice).
+//
+// A TCAM stores entries in physical slot order and returns the FIRST
+// matching slot on lookup. Switch firmware keeps the table compact and
+// priority-sorted: inserting a rule "in the middle" shifts every entry
+// below the insertion point down one slot — this movement is exactly what
+// makes TCAM insertions slow and occupancy-dependent (Section 2.1, and
+// the Table 1 measurements, where insert cost keeps tracking occupancy
+// regardless of prior deletions). Deletions just invalidate an entry; the
+// firmware compacts in the background, which is why deletes are fast and
+// occupancy-independent (Section 2.1.1).
+//
+// This class models the mechanics (placement and shift counts);
+// converting shift counts to latency is the job of tcam::SwitchModel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/rule.h"
+
+namespace hermes::tcam {
+
+/// Outcome of a table operation. `shifts` is the number of existing
+/// entries the hardware had to move to make room (0 for deletes/modifies).
+struct OpResult {
+  bool ok = false;
+  int shifts = 0;
+};
+
+/// Cumulative operation statistics, for overhead accounting (Fig 15).
+struct TableStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t modifies = 0;
+  std::uint64_t failed_inserts = 0;
+  std::uint64_t total_shifts = 0;
+  std::uint64_t lookups = 0;
+};
+
+class TcamTable {
+ public:
+  explicit TcamTable(int capacity);
+
+  int capacity() const { return capacity_; }
+  int occupancy() const { return static_cast<int>(entries_.size()); }
+  bool full() const { return occupancy() == capacity_; }
+  bool empty() const { return entries_.empty(); }
+
+  /// Inserts `rule`, maintaining the priority-order invariant.
+  ///
+  /// Placement: after every entry with priority >= rule.priority (so
+  /// equal-priority rules keep arrival order and a new lowest-priority
+  /// rule appends for free). Every entry below the insertion point shifts
+  /// down one slot. Fails iff the table is full or the id already exists.
+  OpResult insert(const net::Rule& rule);
+
+  /// Removes the rule with `id`. No charged movement (background
+  /// compaction), hence `shifts` is always 0.
+  OpResult erase(net::RuleId id);
+
+  /// In-place modification of action (constant time). Fails if absent.
+  OpResult modify_action(net::RuleId id, const net::Action& action);
+
+  /// In-place modification of the match without priority change
+  /// (constant time, Section 2.1.1). Fails if absent.
+  OpResult modify_match(net::RuleId id, const net::Prefix& match);
+
+  /// First-match lookup (what the hardware does). Returns the matching
+  /// rule closest to the top, which by the invariant is a highest-priority
+  /// match. Counts toward stats.
+  std::optional<net::Rule> lookup(net::Ipv4Address addr);
+  /// Lookup without statistics side effects (for tests/oracles).
+  std::optional<net::Rule> peek(net::Ipv4Address addr) const;
+
+  bool contains(net::RuleId id) const;
+  std::optional<net::Rule> find(net::RuleId id) const;
+
+  /// All rules, top-to-bottom physical order.
+  std::vector<net::Rule> rules() const;
+
+  /// Removes every entry (bulk slice reset, no charged movement).
+  void clear();
+
+  const TableStats& stats() const { return stats_; }
+
+  /// Validates the physical-order invariant; used by tests.
+  bool check_invariant() const;
+
+ private:
+  int capacity_;
+  std::vector<net::Rule> entries_;  // compact, non-increasing priority
+  TableStats stats_;
+};
+
+}  // namespace hermes::tcam

@@ -1,0 +1,217 @@
+#include "workloads/bgp.h"
+
+#include <algorithm>
+#include <random>
+
+namespace hermes::workloads {
+
+namespace {
+
+std::uint64_t prefix_key(const net::Prefix& p) {
+  return (static_cast<std::uint64_t>(p.address().value()) << 6) |
+         static_cast<std::uint64_t>(p.length());
+}
+
+// A plausible global-table prefix: /16.../24 drawn from a few RIR-ish
+// blocks, deterministic in the index.
+net::Prefix synthetic_prefix(std::mt19937_64& rng) {
+  static constexpr std::uint32_t kBlocks[] = {
+      0x01000000u,  // 1.0.0.0/8-ish (APNIC)
+      0x17000000u,  // 23.0.0.0/8-ish (ARIN)
+      0x33000000u,  // 51.0.0.0/8-ish (RIPE)
+      0x67000000u,  // 103.0.0.0/8-ish
+      0xB9000000u,  // 185.0.0.0/8-ish
+      0xC0000000u,  // 192.0.0.0/8-ish
+  };
+  std::uint32_t block = kBlocks[rng() % std::size(kBlocks)];
+  int length = 16 + static_cast<int>(rng() % 9);  // /16 .. /24
+  std::uint32_t host = static_cast<std::uint32_t>(rng()) & 0x00FFFFFFu;
+  return net::Prefix(net::Ipv4Address(block | host), length);
+}
+
+}  // namespace
+
+BgpFeedConfig equinix_chicago() {
+  BgpFeedConfig c;
+  c.prefix_count = 8000;
+  c.peer_count = 12;
+  c.base_rate = 60;
+  c.burst_rate = 2500;
+  c.burst_probability = 0.03;
+  c.seed = 101;
+  return c;
+}
+
+BgpFeedConfig telxatl_atlanta() {
+  BgpFeedConfig c;
+  c.prefix_count = 6000;
+  c.peer_count = 10;
+  c.base_rate = 45;
+  c.burst_rate = 1800;
+  c.burst_probability = 0.025;
+  c.seed = 202;
+  return c;
+}
+
+BgpFeedConfig nwax_portland() {
+  BgpFeedConfig c;
+  c.prefix_count = 3000;
+  c.peer_count = 6;
+  c.base_rate = 25;
+  c.burst_rate = 1200;
+  c.burst_probability = 0.015;
+  c.seed = 303;
+  return c;
+}
+
+BgpFeedConfig route_views_oregon() {
+  BgpFeedConfig c;
+  c.prefix_count = 10000;
+  c.peer_count = 16;
+  c.base_rate = 80;
+  c.burst_rate = 3000;
+  c.burst_probability = 0.035;
+  c.seed = 404;
+  return c;
+}
+
+std::vector<BgpUpdate> bgp_feed(const BgpFeedConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Pre-generate the prefix universe.
+  std::vector<net::Prefix> prefixes;
+  prefixes.reserve(static_cast<std::size_t>(config.prefix_count));
+  for (int i = 0; i < config.prefix_count; ++i)
+    prefixes.push_back(synthetic_prefix(rng));
+
+  std::vector<BgpUpdate> feed;
+  double t = 0;
+  bool bursting = false;
+  double burst_end = 0;
+  // Unstable prefixes flap far more than stable ones: 10% of prefixes
+  // carry 90% of the churn (BGP's well-known heavy tail).
+  auto pick_prefix = [&]() -> const net::Prefix& {
+    if (unit(rng) < 0.9) {
+      std::size_t hot = prefixes.size() / 10 + 1;
+      return prefixes[rng() % hot];
+    }
+    return prefixes[rng() % prefixes.size()];
+  };
+
+  while (t < config.duration_s) {
+    if (bursting && t >= burst_end) bursting = false;
+    if (!bursting && unit(rng) < config.burst_probability) {
+      bursting = true;
+      std::exponential_distribution<double> len(1.0 / config.mean_burst_s);
+      burst_end = t + len(rng);
+    }
+    double rate = bursting ? config.burst_rate : config.base_rate;
+    std::exponential_distribution<double> gap(rate);
+    t += gap(rng);
+    if (t >= config.duration_s) break;
+
+    BgpUpdate u;
+    u.time = from_seconds(t);
+    u.prefix = pick_prefix();
+    u.peer = static_cast<int>(rng() %
+                              static_cast<std::uint64_t>(config.peer_count));
+    u.withdraw = unit(rng) < config.withdraw_fraction;
+    if (!u.withdraw) {
+      u.local_pref = 100 + 10 * static_cast<int>(rng() % 3);
+      u.as_path_len = 2 + static_cast<int>(rng() % 5);
+    }
+    feed.push_back(u);
+  }
+  return feed;
+}
+
+const Rib::Route* Rib::best_of(const PrefixState& state) {
+  const Route* best = nullptr;
+  for (const Route& r : state.routes) {
+    if (!best) {
+      best = &r;
+      continue;
+    }
+    if (r.local_pref != best->local_pref) {
+      if (r.local_pref > best->local_pref) best = &r;
+    } else if (r.as_path_len != best->as_path_len) {
+      if (r.as_path_len < best->as_path_len) best = &r;
+    } else if (r.peer < best->peer) {
+      best = &r;
+    }
+  }
+  return best;
+}
+
+net::RuleId Rib::rule_id_for(const net::Prefix& prefix) {
+  auto [it, inserted] = rule_ids_.emplace(prefix_key(prefix), next_rule_id_);
+  if (inserted) ++next_rule_id_;
+  return it->second;
+}
+
+std::optional<net::FlowMod> Rib::apply(const BgpUpdate& update) {
+  ++updates_seen_;
+  std::uint64_t key = prefix_key(update.prefix);
+  PrefixState& state = rib_[key];
+
+  auto it = std::find_if(state.routes.begin(), state.routes.end(),
+                         [&](const Route& r) { return r.peer == update.peer; });
+  if (update.withdraw) {
+    if (it == state.routes.end()) return std::nullopt;  // nothing to drop
+    state.routes.erase(it);
+  } else if (it == state.routes.end()) {
+    state.routes.push_back(
+        Route{update.peer, update.local_pref, update.as_path_len});
+  } else {
+    it->local_pref = update.local_pref;
+    it->as_path_len = update.as_path_len;
+  }
+
+  const Route* best = best_of(state);
+  auto fib_it = fib_next_hop_.find(key);
+
+  if (!best) {
+    // All routes gone: prefix leaves the FIB.
+    rib_.erase(key);
+    if (fib_it == fib_next_hop_.end()) return std::nullopt;
+    fib_next_hop_.erase(fib_it);
+    ++fib_changes_;
+    net::Rule rule{rule_id_for(update.prefix), update.prefix.length(),
+                   update.prefix, {}};
+    return net::FlowMod{net::FlowModType::kDelete, rule};
+  }
+
+  // LPM encoding in TCAM: priority = prefix length, next hop = egress port
+  // toward the best peer.
+  net::Rule rule{rule_id_for(update.prefix), update.prefix.length(),
+                 update.prefix, net::forward_to(best->peer)};
+  if (fib_it == fib_next_hop_.end()) {
+    fib_next_hop_.emplace(key, best->peer);
+    ++fib_changes_;
+    return net::FlowMod{net::FlowModType::kInsert, rule};
+  }
+  if (fib_it->second == best->peer) return std::nullopt;  // RIB-only change
+  fib_it->second = best->peer;
+  ++fib_changes_;
+  // Next-hop change without priority change: a cheap modify (Section 2.1).
+  return net::FlowMod{net::FlowModType::kModify, rule};
+}
+
+double Rib::fib_percolation_rate() const {
+  if (updates_seen_ == 0) return 0;
+  return static_cast<double>(fib_changes_) /
+         static_cast<double>(updates_seen_);
+}
+
+RuleTrace fib_trace(const std::vector<BgpUpdate>& feed) {
+  Rib rib;
+  RuleTrace trace;
+  for (const BgpUpdate& update : feed) {
+    if (auto mod = rib.apply(update))
+      trace.push_back(RuleEvent{update.time, *mod});
+  }
+  return trace;
+}
+
+}  // namespace hermes::workloads

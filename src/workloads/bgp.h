@@ -1,0 +1,99 @@
+// Synthetic BGPStream-style update feeds and the RIB -> FIB reduction
+// (Sections 2.3 and 8.1.3, "BGPTrace").
+//
+// The paper replays BGP updates from four high-traffic routers, first
+// converting them to FIB actions: "many RIB updates do not percolate down
+// to the FIB and it is the FIB rules that are installed into the TCAM".
+// We reproduce both halves:
+//   * a generator producing announce/withdraw churn whose rate is mostly
+//     low but bursts past 1000 updates/s at the tail (the Section 2.3
+//     observation that motivates Hermes for BGP), and
+//   * a Rib that runs best-path selection per prefix and emits a TCAM
+//     flow-mod only when the best path actually changes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "workloads/trace.h"
+
+namespace hermes::workloads {
+
+/// One BGP update message from a peer.
+struct BgpUpdate {
+  Time time = 0;
+  net::Prefix prefix;
+  int peer = 0;
+  bool withdraw = false;
+  // Route attributes (only meaningful for announcements).
+  int local_pref = 100;
+  int as_path_len = 3;
+};
+
+struct BgpFeedConfig {
+  int prefix_count = 5000;       ///< distinct prefixes in the table
+  int peer_count = 8;            ///< BGP sessions feeding the router
+  double duration_s = 60.0;      ///< feed length
+  double base_rate = 40.0;       ///< calm-period updates/s
+  double burst_rate = 2000.0;    ///< in-burst updates/s (tail, >1000/s)
+  double burst_probability = 0.02;  ///< chance a calm period turns bursty
+  double mean_burst_s = 0.5;     ///< mean burst episode length
+  double withdraw_fraction = 0.25;
+  std::uint64_t seed = 1;
+};
+
+/// Presets modeled after the paper's four vantage points. The names match
+/// Section 8.1.3; the parameters differ in scale and burstiness.
+BgpFeedConfig equinix_chicago();
+BgpFeedConfig telxatl_atlanta();
+BgpFeedConfig nwax_portland();
+BgpFeedConfig route_views_oregon();
+
+/// Generates a deterministic synthetic update feed.
+std::vector<BgpUpdate> bgp_feed(const BgpFeedConfig& config);
+
+/// Routing Information Base with standard best-path selection:
+/// highest local-pref, then shortest AS path, then lowest peer id.
+/// apply() returns the TCAM action implied by the update, or nullopt when
+/// the best path (hence the FIB) is unchanged.
+class Rib {
+ public:
+  std::optional<net::FlowMod> apply(const BgpUpdate& update);
+
+  /// Fraction of RIB updates that reached the FIB so far.
+  double fib_percolation_rate() const;
+
+  std::size_t fib_size() const { return fib_next_hop_.size(); }
+  std::uint64_t updates_seen() const { return updates_seen_; }
+  std::uint64_t fib_changes() const { return fib_changes_; }
+
+ private:
+  struct Route {
+    int peer;
+    int local_pref;
+    int as_path_len;
+  };
+  struct PrefixState {
+    std::vector<Route> routes;  // one per announcing peer
+  };
+
+  /// Best route under the selection policy; nullptr when none.
+  static const Route* best_of(const PrefixState& state);
+  net::RuleId rule_id_for(const net::Prefix& prefix);
+
+  std::unordered_map<std::uint64_t, PrefixState> rib_;
+  std::unordered_map<std::uint64_t, int> fib_next_hop_;
+  std::unordered_map<std::uint64_t, net::RuleId> rule_ids_;
+  net::RuleId next_rule_id_ = 1;
+  std::uint64_t updates_seen_ = 0;
+  std::uint64_t fib_changes_ = 0;
+};
+
+/// Convenience: run a whole feed through a Rib and return the resulting
+/// timestamped FIB trace (what actually hits the TCAM).
+RuleTrace fib_trace(const std::vector<BgpUpdate>& feed);
+
+}  // namespace hermes::workloads

@@ -1,0 +1,68 @@
+#include "workloads/facebook.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <random>
+
+namespace hermes::workloads {
+
+std::vector<Job> facebook_jobs(const FacebookConfig& config,
+                               const std::vector<net::NodeId>& hosts) {
+  assert(hosts.size() >= 2);
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Job inter-arrivals: Poisson over the window.
+  double rate = static_cast<double>(config.job_count) / config.duration_s;
+  std::exponential_distribution<double> gap(rate);
+
+  // Width (flows per job): discrete Pareto, alpha ~ 1.5, scaled to the
+  // requested mean. Heavy tail => a few very wide shuffles.
+  const double alpha_width = 1.5;
+  auto sample_width = [&]() {
+    double u = std::max(unit(rng), 1e-9);
+    double pareto = std::pow(u, -1.0 / alpha_width);  // >= 1
+    int width = static_cast<int>(pareto * config.mean_width / 3.0);
+    return std::clamp(width, 1, config.max_width);
+  };
+
+  // Per-flow bytes: lognormal body + Pareto tail. Most flows are a few
+  // MB; the tail reaches multi-GB, pushing their jobs past the 1 GB
+  // short/long boundary.
+  std::lognormal_distribution<double> body(
+      std::log(config.mean_flow_mb * 1e6) - 0.5, 1.0);
+  auto sample_bytes = [&]() {
+    double bytes = body(rng);
+    if (unit(rng) < 0.05) {
+      double u = std::max(unit(rng), 1e-9);
+      bytes += 2e8 * std::pow(u, -1.0 / 1.3);  // elephant component
+    }
+    return std::min(bytes, 5e10);
+  };
+
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(config.job_count));
+  double t = 0;
+  for (int j = 0; j < config.job_count; ++j) {
+    t += gap(rng);
+    Job job;
+    job.id = j;
+    job.arrival = from_seconds(t);
+    int width = sample_width();
+    job.flows.reserve(static_cast<std::size_t>(width));
+    for (int f = 0; f < width; ++f) {
+      FlowSpec flow;
+      flow.src = hosts[rng() % hosts.size()];
+      do {
+        flow.dst = hosts[rng() % hosts.size()];
+      } while (flow.dst == flow.src);
+      flow.bytes = sample_bytes();
+      job.flows.push_back(flow);
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace hermes::workloads

@@ -1,0 +1,32 @@
+// Facebook-style MapReduce workload (Section 8.1.3).
+//
+// The paper replays 24402 MapReduce jobs from Facebook's 600-machine
+// cluster [Chowdhury et al.]. The trace itself is not public; this
+// generator reproduces the published shape instead: Poisson job arrivals,
+// heavy-tailed shuffle widths and per-flow sizes, and a short/long split
+// at 1 GB where short (latency-sensitive) jobs dominate in count while
+// long jobs dominate in bytes — the property Figure 1 depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/trace.h"
+
+namespace hermes::workloads {
+
+struct FacebookConfig {
+  int job_count = 500;
+  double duration_s = 120.0;     ///< arrival window
+  double mean_width = 6.0;       ///< mean flows per job (heavy-tailed)
+  int max_width = 512;
+  double mean_flow_mb = 12.0;    ///< typical shuffle flow (heavy-tailed)
+  std::uint64_t seed = 1;
+};
+
+/// Generates jobs with endpoints drawn uniformly from `hosts`
+/// (src != dst per flow). Deterministic in the seed.
+std::vector<Job> facebook_jobs(const FacebookConfig& config,
+                               const std::vector<net::NodeId>& hosts);
+
+}  // namespace hermes::workloads

@@ -1,0 +1,74 @@
+#include "workloads/gravity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace hermes::workloads {
+
+std::vector<std::vector<double>> gravity_matrix(
+    const net::Topology& topology, const GravityConfig& config) {
+  std::vector<net::NodeId> hosts = topology.hosts();
+  std::size_t n = hosts.size();
+  std::mt19937_64 rng(config.seed);
+  std::lognormal_distribution<double> mass_dist(0.0, config.mass_sigma);
+
+  std::vector<double> mass(n);
+  double total_mass = 0;
+  for (double& m : mass) {
+    m = mass_dist(rng);
+    total_mass += m;
+  }
+
+  // Gravity model: demand_ij ~ m_i * m_j, normalized so the off-diagonal
+  // demands sum to the configured offered load (in bytes/s).
+  double total_bytes_per_s = config.total_traffic_bps / 8.0;
+  double weight_sum = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) weight_sum += mass[i] * mass[j];
+
+  std::vector<std::vector<double>> tm(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j)
+        tm[i][j] = total_bytes_per_s * mass[i] * mass[j] / weight_sum;
+  return tm;
+}
+
+std::vector<FlowArrival> gravity_flows(const net::Topology& topology,
+                                       const GravityConfig& config) {
+  std::vector<net::NodeId> hosts = topology.hosts();
+  auto tm = gravity_matrix(topology, config);
+  std::mt19937_64 rng(config.seed ^ 0x9E3779B97F4A7C15ull);
+
+  std::vector<FlowArrival> flows;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i == j || tm[i][j] <= 0) continue;
+      // Flow arrival rate for this OD pair; sizes exponential around the
+      // mean so the per-pair byte rate matches the matrix entry.
+      double flows_per_s = tm[i][j] / config.mean_flow_bytes;
+      if (flows_per_s <= 0) continue;
+      std::exponential_distribution<double> gap(flows_per_s);
+      std::exponential_distribution<double> size(1.0 /
+                                                 config.mean_flow_bytes);
+      double t = gap(rng);
+      while (t < config.duration_s) {
+        FlowArrival arrival;
+        arrival.time = from_seconds(t);
+        arrival.flow = FlowSpec{hosts[i], hosts[j],
+                                std::max(1.0, size(rng))};
+        flows.push_back(arrival);
+        t += gap(rng);
+      }
+    }
+  }
+  std::sort(flows.begin(), flows.end(),
+            [](const FlowArrival& a, const FlowArrival& b) {
+              return a.time < b.time;
+            });
+  return flows;
+}
+
+}  // namespace hermes::workloads

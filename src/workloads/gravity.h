@@ -1,0 +1,35 @@
+// Tomo-gravity traffic matrices and ISP flow generation (Section 8.1.3).
+//
+// For the Abilene / Geant / Quest experiments the paper generates traffic
+// matrices with the tomo-gravity model [Zhang et al., SIGMETRICS'03]:
+// node "masses" are estimated per PoP and the demand between PoPs i and j
+// is proportional to mass_i * mass_j. Individual flows are then drawn
+// with Poisson inter-arrivals and flow sizes partitioned from the matrix
+// totals — exactly the Abilene recipe of Section 8.1.3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/trace.h"
+
+namespace hermes::workloads {
+
+struct GravityConfig {
+  double total_traffic_bps = 4e9;  ///< network-wide offered load
+  double mean_flow_bytes = 8e6;    ///< average flow size
+  double duration_s = 60.0;
+  double mass_sigma = 1.0;  ///< lognormal spread of PoP masses
+  std::uint64_t seed = 1;
+};
+
+/// The gravity traffic matrix (bytes/s) between the topology's hosts:
+/// entry [i][j] is demand from hosts()[i] to hosts()[j]; the diagonal is 0.
+std::vector<std::vector<double>> gravity_matrix(
+    const net::Topology& topology, const GravityConfig& config);
+
+/// Poisson flow arrivals realizing the matrix, sorted by time.
+std::vector<FlowArrival> gravity_flows(const net::Topology& topology,
+                                       const GravityConfig& config);
+
+}  // namespace hermes::workloads

@@ -1,0 +1,84 @@
+#include "workloads/microbench.h"
+
+#include <algorithm>
+#include <random>
+
+namespace hermes::workloads {
+
+RuleTrace microbench_trace(const MicroBenchConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  std::exponential_distribution<double> exp_gap(config.rate);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Disjoint allocator: consecutive /24s from 172.16.0.0/12.
+  const std::uint32_t disjoint_base = 0xAC100000u;
+  std::uint32_t next_disjoint = disjoint_base;
+
+  RuleTrace trace;
+  trace.reserve(static_cast<std::size_t>(config.count));
+  Time now = 0;
+  const Duration fixed_gap = from_seconds(1.0 / config.rate);
+
+  for (int i = 0; i < config.count; ++i) {
+    if (i > 0) {
+      now += config.poisson_arrivals ? from_seconds(exp_gap(rng))
+                                     : fixed_gap;
+    }
+    net::Prefix match;
+    bool wide = false;
+    if (next_disjoint != disjoint_base &&
+        unit(rng) < config.overlap_rate / 2) {
+      wide = true;
+      // A wide rule laid over the region the /24s populate: it CONTAINS
+      // several earlier narrow rules (and intersects other wides), which
+      // is the partition-heavy overlap of Figure 5 (b)/(c). Wide rules
+      // are practically never tiled completely, so they exercise cutting
+      // rather than degenerating into redundant drops.
+      std::uint32_t span = next_disjoint - disjoint_base;
+      std::uint32_t addr =
+          disjoint_base + static_cast<std::uint32_t>(rng() % span);
+      int length = 21 + static_cast<int>(rng() % 3);  // /21 .. /23
+      match = net::Prefix(net::Ipv4Address(addr), length);
+    } else {
+      match = net::Prefix(net::Ipv4Address(next_disjoint), 24);
+      // Advance sparsely (~50% slot density): wide rules laid over the
+      // region then always retain uncovered residuals, so they partition
+      // into pieces instead of being fully tiled away as redundant.
+      next_disjoint += 0x100 * (1 + static_cast<std::uint32_t>(rng() % 3));
+    }
+
+    int priority = 0;
+    switch (config.priorities) {
+      case PriorityPattern::kConstant:
+        priority = 1;
+        break;
+      case PriorityPattern::kAscending:
+        priority = i + 1;
+        break;
+      case PriorityPattern::kDescending:
+        priority = config.count - i;
+        break;
+      case PriorityPattern::kRandom: {
+        // Narrow obstacles draw from the upper half; wide rules all share
+        // one low priority. A wide rule is then partitioned around every
+        // higher-priority narrow rule it contains (Figure 5 (b)/(c)),
+        // while wide-wide nesting neither cuts nor turns redundant (equal
+        // priorities), so the overlap knob purely scales partition work.
+        int half = std::max(1, config.priority_levels / 2);
+        priority = wide ? half
+                        : half + 1 +
+                              static_cast<int>(
+                                  rng() % static_cast<std::uint64_t>(half));
+        break;
+      }
+    }
+
+    net::Rule rule{config.first_id + static_cast<net::RuleId>(i), priority,
+                   match,
+                   net::forward_to(static_cast<int>(rng() % 48))};
+    trace.push_back(RuleEvent{now, {net::FlowModType::kInsert, rule}});
+  }
+  return trace;
+}
+
+}  // namespace hermes::workloads

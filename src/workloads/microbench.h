@@ -1,0 +1,44 @@
+// MicroBench rule-insertion streams (Section 8.1.3).
+//
+// "We generated a stream of rule insertions in a systematic manner,
+// varying ... the arrival rate (impact of bursts), overlap rate (impact
+// of partitioning), and priorities (impact of TCAM rearrangement)."
+//
+// Overlap is produced by deriving a configurable fraction of the rules
+// from prefixes already in the stream: an overlapping rule either extends
+// (child) or truncates (ancestor) a randomly chosen earlier prefix, so it
+// overlaps that rule plus everything on the same trie path. The remainder
+// come from an allocator of mutually disjoint /24s. overlap_rate = 1.0
+// means every rule overlaps at least one earlier rule (the paper's
+// wildcard example being the extreme ancestor case).
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/trace.h"
+
+namespace hermes::workloads {
+
+enum class PriorityPattern : std::uint8_t {
+  kConstant,    ///< all equal: no TCAM rearrangement at all
+  kAscending,   ///< each rule beats all before it: worst-case shifting
+  kDescending,  ///< each rule appends: best case
+  kRandom,      ///< mixed: both shifting and partitioning occur
+};
+
+struct MicroBenchConfig {
+  int count = 1000;              ///< rules to generate
+  double rate = 1000.0;          ///< mean arrival rate (rules/s)
+  bool poisson_arrivals = true;  ///< exponential vs fixed inter-arrival
+  double overlap_rate = 0.0;     ///< fraction drawn from the overlap chain
+  PriorityPattern priorities = PriorityPattern::kRandom;
+  int priority_levels = 64;      ///< span for kRandom
+  std::uint64_t seed = 1;
+  net::RuleId first_id = 1;
+};
+
+/// Generates the insertion trace described by `config`. Deterministic in
+/// the seed.
+RuleTrace microbench_trace(const MicroBenchConfig& config);
+
+}  // namespace hermes::workloads

@@ -1,0 +1,51 @@
+// Common workload trace types shared by the generators (Section 8.1.3)
+// and consumed by the benchmark harnesses and the Varys simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/rule.h"
+#include "net/time.h"
+#include "net/topology.h"
+
+namespace hermes::workloads {
+
+/// One timestamped control-plane action (a switch-bound flow-mod).
+struct RuleEvent {
+  Time time = 0;
+  net::FlowMod mod;
+};
+using RuleTrace = std::vector<RuleEvent>;
+
+/// One network transfer, as the flow-level simulator consumes it.
+struct FlowSpec {
+  net::NodeId src = net::kInvalidNode;  ///< source host
+  net::NodeId dst = net::kInvalidNode;  ///< destination host
+  double bytes = 0;
+};
+
+/// A data-analytics job: a bag of flows released together at `arrival`
+/// (the shuffle of a MapReduce stage). JCT = last flow end - first flow
+/// start (Section 8.1.2).
+struct Job {
+  int id = 0;
+  Time arrival = 0;
+  std::vector<FlowSpec> flows;
+
+  double total_bytes() const {
+    double total = 0;
+    for (const FlowSpec& f : flows) total += f.bytes;
+    return total;
+  }
+  /// The paper splits jobs at 1 GB (Figure 1).
+  bool is_short() const { return total_bytes() < 1e9; }
+};
+
+/// An individual flow arrival (ISP-style traffic, no job structure).
+struct FlowArrival {
+  Time time = 0;
+  FlowSpec flow;
+};
+
+}  // namespace hermes::workloads

@@ -1,0 +1,160 @@
+#include "workloads/trace_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace hermes::workloads {
+
+namespace {
+
+const char* verb_of(net::FlowModType type) {
+  switch (type) {
+    case net::FlowModType::kInsert:
+      return "insert";
+    case net::FlowModType::kDelete:
+      return "delete";
+    case net::FlowModType::kModify:
+      return "modify";
+  }
+  return "?";
+}
+
+std::string action_of(const net::Action& action) {
+  switch (action.type) {
+    case net::ActionType::kForward:
+      return "fwd:" + std::to_string(action.port);
+    case net::ActionType::kDrop:
+      return "drop";
+    case net::ActionType::kToController:
+      return "controller";
+    case net::ActionType::kGotoNextTable:
+      return "goto";
+  }
+  return "?";
+}
+
+// Splits on single spaces; returns empty on wrong field count.
+std::vector<std::string_view> fields_of(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    std::size_t next = line.find(' ', pos);
+    if (next == std::string_view::npos) next = line.size();
+    if (next > pos) fields.push_back(line.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return fields;
+}
+
+template <typename T>
+bool parse_number(std::string_view text, T& out) {
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+std::string format_event(const RuleEvent& event) {
+  const net::Rule& rule = event.mod.rule;
+  std::string out;
+  out += std::to_string(event.time);
+  out += ' ';
+  out += verb_of(event.mod.type);
+  out += ' ';
+  out += std::to_string(rule.id);
+  out += ' ';
+  out += std::to_string(rule.priority);
+  out += ' ';
+  out += rule.match.to_string();
+  out += ' ';
+  out += action_of(rule.action);
+  return out;
+}
+
+std::optional<RuleEvent> parse_event(std::string_view line) {
+  auto fields = fields_of(line);
+  if (fields.size() != 6) return std::nullopt;
+
+  RuleEvent event;
+  if (!parse_number(fields[0], event.time) || event.time < 0)
+    return std::nullopt;
+
+  if (fields[1] == "insert")
+    event.mod.type = net::FlowModType::kInsert;
+  else if (fields[1] == "delete")
+    event.mod.type = net::FlowModType::kDelete;
+  else if (fields[1] == "modify")
+    event.mod.type = net::FlowModType::kModify;
+  else
+    return std::nullopt;
+
+  if (!parse_number(fields[2], event.mod.rule.id)) return std::nullopt;
+  if (!parse_number(fields[3], event.mod.rule.priority)) return std::nullopt;
+
+  auto prefix = net::Prefix::parse(fields[4]);
+  if (!prefix) return std::nullopt;
+  event.mod.rule.match = *prefix;
+
+  std::string_view action = fields[5];
+  if (action.starts_with("fwd:")) {
+    int port = 0;
+    if (!parse_number(action.substr(4), port)) return std::nullopt;
+    event.mod.rule.action = net::forward_to(port);
+  } else if (action == "drop") {
+    event.mod.rule.action = net::Action{net::ActionType::kDrop, -1};
+  } else if (action == "controller") {
+    event.mod.rule.action = net::Action{net::ActionType::kToController, -1};
+  } else if (action == "goto") {
+    event.mod.rule.action =
+        net::Action{net::ActionType::kGotoNextTable, -1};
+  } else {
+    return std::nullopt;
+  }
+  return event;
+}
+
+void write_trace(std::ostream& out, const RuleTrace& trace) {
+  out << "# hermes control-plane trace v1: time_ns verb id priority "
+         "prefix action\n";
+  for (const RuleEvent& event : trace) out << format_event(event) << '\n';
+}
+
+std::optional<RuleTrace> read_trace(std::istream& in, std::string* error) {
+  RuleTrace trace;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    auto event = parse_event(line);
+    if (!event) {
+      if (error)
+        *error = "malformed trace line " + std::to_string(line_number) +
+                 ": " + line;
+      return std::nullopt;
+    }
+    trace.push_back(*event);
+  }
+  return trace;
+}
+
+bool save_trace(const std::string& path, const RuleTrace& trace) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_trace(out, trace);
+  return static_cast<bool>(out);
+}
+
+std::optional<RuleTrace> load_trace(const std::string& path,
+                                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return read_trace(in, error);
+}
+
+}  // namespace hermes::workloads

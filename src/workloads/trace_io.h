@@ -1,0 +1,42 @@
+// Text (de)serialization for control-plane traces.
+//
+// Lets users capture a flow-mod stream once (e.g. the busiest-switch
+// trace of a simulation run) and replay it offline against any backend —
+// the workflow the replay benches use internally. The format is one
+// event per line:
+//
+//   <time_ns> <verb> <rule_id> <priority> <prefix> <action>
+//
+// where verb is insert|delete|modify and action is fwd:<port>, drop,
+// controller or goto. Lines starting with '#' and blank lines are
+// ignored.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "workloads/trace.h"
+
+namespace hermes::workloads {
+
+/// Serializes one event as a single line (no trailing newline).
+std::string format_event(const RuleEvent& event);
+
+/// Parses one line; nullopt on malformed input.
+std::optional<RuleEvent> parse_event(std::string_view line);
+
+/// Writes the whole trace (with a commented header).
+void write_trace(std::ostream& out, const RuleTrace& trace);
+
+/// Reads a trace until EOF. Returns nullopt if any non-comment line is
+/// malformed (the error message receives the offending line number).
+std::optional<RuleTrace> read_trace(std::istream& in,
+                                    std::string* error = nullptr);
+
+/// File convenience wrappers. save returns false on I/O failure.
+bool save_trace(const std::string& path, const RuleTrace& trace);
+std::optional<RuleTrace> load_trace(const std::string& path,
+                                    std::string* error = nullptr);
+
+}  // namespace hermes::workloads

@@ -1,0 +1,152 @@
+#include "hermes/acl_hermes.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "tcam/switch_model.h"
+
+namespace hermes::core {
+namespace {
+
+using net::TernaryMatch;
+
+TernaryRule acl_rule(net::RuleId id, int priority, std::uint64_t value,
+                     std::uint64_t mask, int port = 1) {
+  return TernaryRule{id, priority, TernaryMatch(value, mask),
+                     net::forward_to(port)};
+}
+
+TEST(AclHermes, DerivesShadowFromGuarantee) {
+  AclHermes acl(tcam::pica8_p3290(), 4000);
+  EXPECT_GT(acl.shadow_capacity(), 1);
+  EXPECT_LE(tcam::pica8_p3290().insert_latency(acl.shadow_capacity() - 1),
+            from_millis(5));
+}
+
+TEST(AclHermes, InsertLandsInShadowWithBoundedLatency) {
+  AclHermes acl(tcam::pica8_p3290(), 4000);
+  Time done = acl.insert(0, acl_rule(1, 5, 0b1, 0b1));
+  EXPECT_EQ(acl.shadow_occupancy(), 1);
+  EXPECT_LE(done, from_millis(5));
+}
+
+TEST(AclHermes, PartialOverlapCutsIntoPieces) {
+  AclHermes acl(tcam::pica8_p3290(), 4000);
+  acl.insert(0, acl_rule(1, 10, 0b0011, 0b0011, 1));
+  acl.migrate_now(0);
+  ASSERT_EQ(acl.main_occupancy(), 1);
+  // Partially-overlapping lower-priority rule: pinned on a DIFFERENT bit.
+  acl.insert(from_millis(1), acl_rule(2, 5, 0b1000, 0b1000, 2));
+  EXPECT_GT(acl.shadow_occupancy(), 1);  // fragmented
+  // Where both apply, the higher-priority main rule must win.
+  auto hit = acl.lookup(0b1011);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 1);
+  // Where only the new rule applies, it answers.
+  hit = acl.lookup(0b1000);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 2);
+}
+
+TEST(AclHermes, DeleteBlockerUnpartitions) {
+  AclHermes acl(tcam::pica8_p3290(), 4000);
+  acl.insert(0, acl_rule(1, 10, 0b0011, 0b0011, 1));
+  acl.migrate_now(0);
+  acl.insert(from_millis(1), acl_rule(2, 5, 0b1000, 0b1000, 2));
+  acl.erase(from_millis(2), 1);
+  EXPECT_GE(acl.stats().unpartitions, 1u);
+  auto hit = acl.lookup(0b1011);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 2);  // rule 2 reclaims the region
+}
+
+TEST(AclHermes, WatermarkTickMigrates) {
+  AclConfig config;
+  config.shadow_capacity = 10;
+  config.watermark = 0.5;
+  AclHermes acl(tcam::pica8_p3290(), 4000, config);
+  for (int i = 0; i < 4; ++i)
+    acl.insert(0, acl_rule(static_cast<net::RuleId>(i + 1), i + 1,
+                           static_cast<std::uint64_t>(i) << 8, 0xF00));
+  acl.tick(from_millis(1));
+  EXPECT_EQ(acl.stats().migrations, 0u);  // 4 < 5
+  acl.insert(from_millis(2), acl_rule(9, 9, 0xA00, 0xF00));
+  acl.tick(from_millis(3));
+  EXPECT_EQ(acl.stats().migrations, 1u);
+  EXPECT_EQ(acl.shadow_occupancy(), 0);
+  EXPECT_EQ(acl.main_occupancy(), 5);
+}
+
+TEST(AclHermes, RedundantInsertIsDroppedAndMaterializes) {
+  AclHermes acl(tcam::pica8_p3290(), 4000);
+  acl.insert(0, acl_rule(1, 10, 0b0, 0b0, 1));  // wildcard, high prio
+  acl.migrate_now(0);
+  acl.insert(from_millis(1), acl_rule(2, 5, 0b1, 0b1, 2));  // covered
+  EXPECT_EQ(acl.stats().redundant, 1u);
+  EXPECT_EQ(acl.shadow_occupancy(), 0);
+  acl.erase(from_millis(2), 1);
+  auto hit = acl.lookup(0b1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 2);  // materialized on blocker deletion
+}
+
+// Randomized equivalence against a monolithic ACL oracle.
+class AclEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AclEquivalence, MatchesMonolithicOracle) {
+  std::mt19937_64 rng(GetParam());
+  AclConfig config;
+  config.shadow_capacity = 48;
+  AclHermes acl(tcam::pica8_p3290(), 8192, config);
+  std::map<net::RuleId, TernaryRule> reference;
+  net::RuleId next_id = 1;
+  int next_priority = 1;
+  Time now = 0;
+
+  auto check = [&](int samples) {
+    for (int s = 0; s < samples; ++s) {
+      std::uint64_t key = rng() & 0xFFFF;
+      const TernaryRule* best = nullptr;
+      for (const auto& [id, r] : reference) {
+        if (!r.match.matches(key)) continue;
+        if (!best || r.priority > best->priority) best = &r;
+      }
+      auto got = acl.lookup(key);
+      if (!best) {
+        EXPECT_FALSE(got.has_value()) << key;
+      } else {
+        ASSERT_TRUE(got.has_value()) << key;
+        EXPECT_EQ(got->priority, best->priority) << key;
+      }
+    }
+  };
+
+  for (int step = 0; step < 300; ++step) {
+    now += from_millis(2);
+    if (reference.empty() || rng() % 4 != 0) {
+      TernaryRule r{next_id++, next_priority++,
+                    TernaryMatch(rng() & 0xFFFF, rng() & 0xFFF),
+                    net::forward_to(static_cast<int>(rng() % 100))};
+      acl.insert(now, r);
+      reference.emplace(r.id, r);
+    } else {
+      auto it = reference.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng() %
+                                                   reference.size()));
+      acl.erase(now, it->first);
+      reference.erase(it);
+    }
+    acl.tick(now);
+    if (step % 20 == 0) check(40);
+  }
+  acl.migrate_now(now);
+  check(400);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AclEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace hermes::core

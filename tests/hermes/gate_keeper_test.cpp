@@ -1,0 +1,188 @@
+#include "hermes/gate_keeper.h"
+
+#include <gtest/gtest.h>
+
+namespace hermes::core {
+namespace {
+
+using net::Prefix;
+using net::Rule;
+
+Rule make_rule(net::RuleId id, int priority, std::string_view prefix) {
+  return Rule{id, priority, *Prefix::parse(prefix), net::forward_to(1)};
+}
+
+RouteContext busy_context() {
+  RouteContext ctx;
+  ctx.shadow_free = 10;
+  ctx.pieces_needed = 1;
+  ctx.main_min_priority = 5;
+  ctx.main_empty = false;
+  ctx.main_full = false;
+  return ctx;
+}
+
+TEST(TokenBucket, StartsFullAndDrains) {
+  TokenBucket bucket(10.0, 3.0);
+  EXPECT_TRUE(bucket.try_take(0));
+  EXPECT_TRUE(bucket.try_take(0));
+  EXPECT_TRUE(bucket.try_take(0));
+  EXPECT_FALSE(bucket.try_take(0));  // burst exhausted
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket bucket(10.0, 1.0);  // 1 token per 100ms
+  EXPECT_TRUE(bucket.try_take(0));
+  EXPECT_FALSE(bucket.try_take(from_millis(50)));
+  EXPECT_TRUE(bucket.try_take(from_millis(100)));
+}
+
+TEST(TokenBucket, RefillCapsAtBurst) {
+  TokenBucket bucket(1000.0, 2.0);
+  EXPECT_TRUE(bucket.try_take(0));
+  EXPECT_TRUE(bucket.try_take(0));
+  // After a long idle period only `burst` tokens are available.
+  Time later = from_seconds(10);
+  EXPECT_NEAR(bucket.available(later), 2.0, 1e-9);
+  EXPECT_TRUE(bucket.try_take(later));
+  EXPECT_TRUE(bucket.try_take(later));
+  EXPECT_FALSE(bucket.try_take(later));
+}
+
+TEST(TokenBucket, AvailableDoesNotConsume) {
+  TokenBucket bucket(1.0, 5.0);
+  EXPECT_NEAR(bucket.available(0), 5.0, 1e-9);
+  EXPECT_NEAR(bucket.available(0), 5.0, 1e-9);
+}
+
+TEST(GateKeeper, GuaranteedWhenEverythingFits) {
+  HermesConfig config;
+  GateKeeper gk(config, 1000, 100);
+  auto route = gk.route_insert(0, make_rule(1, 9, "10.0.0.0/8"),
+                               busy_context());
+  EXPECT_EQ(route, Route::kGuaranteed);
+  EXPECT_EQ(gk.stats().guaranteed, 1u);
+}
+
+TEST(GateKeeper, PredicateMismatchGoesToMain) {
+  HermesConfig config;
+  config.predicate = match_prefix_within(*Prefix::parse("10.0.0.0/8"));
+  GateKeeper gk(config, 1000, 100);
+  EXPECT_EQ(gk.route_insert(0, make_rule(1, 9, "11.0.0.0/8"),
+                            busy_context()),
+            Route::kMainUnmatched);
+  EXPECT_EQ(gk.route_insert(0, make_rule(2, 9, "10.1.0.0/16"),
+                            busy_context()),
+            Route::kGuaranteed);
+  EXPECT_EQ(gk.stats().unmatched, 1u);
+}
+
+TEST(GateKeeper, OverRateGoesToMain) {
+  HermesConfig config;
+  GateKeeper gk(config, /*rate=*/1.0, /*burst=*/1.0);
+  EXPECT_EQ(gk.route_insert(0, make_rule(1, 9, "10.0.0.0/8"),
+                            busy_context()),
+            Route::kGuaranteed);
+  EXPECT_EQ(gk.route_insert(0, make_rule(2, 9, "10.0.0.0/9"),
+                            busy_context()),
+            Route::kMainOverRate);
+  EXPECT_EQ(gk.stats().over_rate, 1u);
+}
+
+TEST(GateKeeper, LowestPriorityOptimizationBypassesShadow) {
+  // Section 4.2: a rule at/below the main table's bottom appends with no
+  // shifting — route it to main and do not spend a token.
+  HermesConfig config;
+  GateKeeper gk(config, 1.0, 1.0);
+  RouteContext ctx = busy_context();  // main_min_priority = 5
+  EXPECT_EQ(gk.route_insert(0, make_rule(1, 5, "10.0.0.0/8"), ctx),
+            Route::kMainLowestPrio);
+  EXPECT_EQ(gk.route_insert(0, make_rule(2, 3, "10.0.0.0/8"), ctx),
+            Route::kMainLowestPrio);
+  // Tokens untouched: a guaranteed insert still succeeds afterwards.
+  EXPECT_EQ(gk.route_insert(0, make_rule(3, 9, "10.0.0.0/8"), ctx),
+            Route::kGuaranteed);
+  EXPECT_EQ(gk.stats().lowest_priority, 2u);
+}
+
+TEST(GateKeeper, LowestPriorityIntoEmptyMain) {
+  HermesConfig config;
+  GateKeeper gk(config, 1000, 100);
+  RouteContext ctx = busy_context();
+  ctx.main_empty = true;
+  EXPECT_EQ(gk.route_insert(0, make_rule(1, 99, "10.0.0.0/8"), ctx),
+            Route::kMainLowestPrio);
+}
+
+TEST(GateKeeper, OptimizationDisabledByConfig) {
+  HermesConfig config;
+  config.lowest_priority_optimization = false;
+  GateKeeper gk(config, 1000, 100);
+  RouteContext ctx = busy_context();
+  EXPECT_EQ(gk.route_insert(0, make_rule(1, 3, "10.0.0.0/8"), ctx),
+            Route::kGuaranteed);
+}
+
+TEST(GateKeeper, OptimizationSkippedWhenMainFull) {
+  HermesConfig config;
+  GateKeeper gk(config, 1000, 100);
+  RouteContext ctx = busy_context();
+  ctx.main_full = true;
+  EXPECT_EQ(gk.route_insert(0, make_rule(1, 3, "10.0.0.0/8"), ctx),
+            Route::kGuaranteed);
+}
+
+TEST(GateKeeper, ShadowFullIsLastResort) {
+  HermesConfig config;
+  GateKeeper gk(config, 1000, 100);
+  RouteContext ctx = busy_context();
+  ctx.shadow_free = 0;
+  EXPECT_EQ(gk.route_insert(0, make_rule(1, 9, "10.0.0.0/8"), ctx),
+            Route::kMainShadowFull);
+  EXPECT_EQ(gk.stats().shadow_full, 1u);
+}
+
+TEST(GateKeeper, SustainedRateIsAdmitted) {
+  // Sending exactly at the token rate must never be rejected.
+  HermesConfig config;
+  GateKeeper gk(config, 100.0, 5.0);
+  RouteContext ctx = busy_context();
+  Time t = 0;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(gk.route_insert(t, make_rule(static_cast<net::RuleId>(i + 1),
+                                           9, "10.0.0.0/8"),
+                              ctx),
+              Route::kGuaranteed)
+        << "at op " << i;
+    t += from_millis(10);  // 100/s
+  }
+}
+
+TEST(GateKeeper, BurstAboveRateOverflowsBucket) {
+  HermesConfig config;
+  GateKeeper gk(config, 100.0, 5.0);
+  RouteContext ctx = busy_context();
+  int rejected = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (gk.route_insert(0, make_rule(static_cast<net::RuleId>(i + 1), 9,
+                                     "10.0.0.0/8"),
+                        ctx) == Route::kMainOverRate)
+      ++rejected;
+  }
+  EXPECT_EQ(rejected, 45);  // burst of 5 admitted, rest over-rate
+}
+
+TEST(Predicates, Helpers) {
+  auto all = match_all();
+  EXPECT_TRUE(all(make_rule(1, 0, "0.0.0.0/0")));
+  auto scoped = match_prefix_within(*Prefix::parse("10.0.0.0/8"));
+  EXPECT_TRUE(scoped(make_rule(1, 0, "10.2.0.0/16")));
+  EXPECT_FALSE(scoped(make_rule(1, 0, "11.0.0.0/16")));
+  EXPECT_FALSE(scoped(make_rule(1, 0, "0.0.0.0/0")));
+  auto prio = match_priority_at_least(5);
+  EXPECT_TRUE(prio(make_rule(1, 5, "10.0.0.0/8")));
+  EXPECT_FALSE(prio(make_rule(1, 4, "10.0.0.0/8")));
+}
+
+}  // namespace
+}  // namespace hermes::core

@@ -1,0 +1,418 @@
+#include "hermes/hermes_agent.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include "tcam/switch_model.h"
+
+namespace hermes::core {
+namespace {
+
+using net::Prefix;
+using net::Rule;
+
+Rule make_rule(net::RuleId id, int priority, std::string_view prefix,
+               int port = 1) {
+  return Rule{id, priority, *Prefix::parse(prefix), net::forward_to(port)};
+}
+
+HermesConfig test_config() {
+  HermesConfig config;
+  config.guarantee = from_millis(5);
+  config.token_rate = 1e9;  // effectively unlimited unless a test says so
+  config.token_burst = 1e9;
+  return config;
+}
+
+TEST(HermesAgent, DerivesShadowSizeFromGuarantee) {
+  HermesAgent agent(tcam::pica8_p3290(), 2000, test_config());
+  int shadow = agent.shadow_capacity();
+  EXPECT_GT(shadow, 1);
+  EXPECT_LT(shadow, 400);
+  EXPECT_EQ(agent.main_capacity(), 2000 - shadow);
+  // Shadow sizing must actually honor the guarantee.
+  EXPECT_LE(tcam::pica8_p3290().insert_latency(shadow - 1), from_millis(5));
+}
+
+TEST(HermesAgent, ExplicitShadowCapacityWins) {
+  HermesConfig config = test_config();
+  config.shadow_capacity = 64;
+  HermesAgent agent(tcam::pica8_p3290(), 2000, config);
+  EXPECT_EQ(agent.shadow_capacity(), 64);
+  EXPECT_NEAR(agent.tcam_overhead(), 64.0 / 2000.0, 1e-12);
+}
+
+TEST(HermesAgent, FirstRulesTakeLowestPriorityPathToMain) {
+  // With an empty main table the Section 4.2 optimization routes the
+  // first insert straight to main (free append).
+  HermesAgent agent(tcam::pica8_p3290(), 2000, test_config());
+  agent.insert(0, make_rule(1, 5, "10.0.0.0/8"));
+  EXPECT_EQ(agent.main_occupancy(), 1);
+  EXPECT_EQ(agent.shadow_occupancy(), 0);
+  EXPECT_EQ(agent.stats().main_inserts, 1u);
+}
+
+TEST(HermesAgent, HigherPriorityRuleTakesGuaranteedPath) {
+  HermesAgent agent(tcam::pica8_p3290(), 2000, test_config());
+  agent.insert(0, make_rule(1, 5, "10.0.0.0/8"));       // main (lowest-prio)
+  Time done = agent.insert(0, make_rule(2, 9, "11.0.0.0/8"));
+  EXPECT_EQ(agent.shadow_occupancy(), 1);
+  EXPECT_EQ(agent.stats().guaranteed_inserts, 1u);
+  EXPECT_LE(done, from_millis(5));  // within the guarantee
+}
+
+TEST(HermesAgent, GuaranteedInsertLatencyBounded) {
+  HermesAgent agent(tcam::dell_8132f(), 800, test_config());
+  Time now = 0;
+  // Ascending priorities: every insert is higher than everything before,
+  // the worst case for a monolithic table.
+  agent.insert(now, make_rule(1, 1, "10.0.0.0/8"));
+  for (net::RuleId id = 2; id <= 40; ++id) {
+    now += from_millis(10);
+    Time done = agent.insert(
+        now, make_rule(id, static_cast<int>(id), "10.0.0.0/8"));
+    EXPECT_LE(done - now, from_millis(5)) << "rule " << id;
+    agent.tick(now);
+  }
+  EXPECT_EQ(agent.stats().violations, 0u);
+}
+
+TEST(HermesAgent, Figure4EndToEnd) {
+  // Higher-priority /26 in main, then a lower-priority /24 arrives. The
+  // agent must partition it so lookups still prefer the /26.
+  HermesConfig config = test_config();
+  config.lowest_priority_optimization = false;
+  HermesAgent agent(tcam::pica8_p3290(), 2000, config);
+  agent.insert(0, make_rule(1, 10, "192.168.1.0/26", 1));
+  agent.migrate_now(0);  // push it into the main table
+  ASSERT_EQ(agent.main_occupancy(), 1);
+  agent.insert(0, make_rule(2, 5, "192.168.1.0/24", 2));
+  ASSERT_GE(agent.shadow_occupancy(), 2);  // partitioned pieces
+
+  auto hit = agent.lookup(*net::Ipv4Address::parse("192.168.1.5"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 1);  // the /26 must win
+  hit = agent.lookup(*net::Ipv4Address::parse("192.168.1.200"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 2);  // outside the /26: /24 wins
+}
+
+TEST(HermesAgent, RedundantInsertIsDropped) {
+  HermesConfig config = test_config();
+  config.lowest_priority_optimization = false;
+  HermesAgent agent(tcam::pica8_p3290(), 2000, config);
+  agent.insert(0, make_rule(1, 10, "10.0.0.0/8", 1));
+  agent.migrate_now(0);
+  agent.insert(0, make_rule(2, 5, "10.1.0.0/16", 2));  // fully covered
+  EXPECT_EQ(agent.stats().redundant_inserts, 1u);
+  EXPECT_EQ(agent.shadow_occupancy(), 0);
+  auto hit = agent.lookup(*net::Ipv4Address::parse("10.1.2.3"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 1);
+}
+
+TEST(HermesAgent, DeleteBlockerUnpartitions) {
+  // Figure 6: deleting the main rule must restore the partitioned rule's
+  // full coverage.
+  HermesConfig config = test_config();
+  config.lowest_priority_optimization = false;
+  HermesAgent agent(tcam::pica8_p3290(), 2000, config);
+  agent.insert(0, make_rule(1, 10, "192.168.1.0/26", 1));
+  agent.migrate_now(0);
+  agent.insert(0, make_rule(2, 5, "192.168.1.0/24", 2));
+  agent.erase(0, 1);  // delete the blocker
+  EXPECT_GE(agent.stats().unpartitions, 1u);
+  auto hit = agent.lookup(*net::Ipv4Address::parse("192.168.1.5"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 2);  // /24 now owns the whole range
+}
+
+TEST(HermesAgent, DeleteBlockerMaterializesRedundantRule) {
+  HermesConfig config = test_config();
+  config.lowest_priority_optimization = false;
+  HermesAgent agent(tcam::pica8_p3290(), 2000, config);
+  agent.insert(0, make_rule(1, 10, "10.0.0.0/8", 1));
+  agent.migrate_now(0);
+  agent.insert(0, make_rule(2, 5, "10.1.0.0/16", 2));  // redundant
+  EXPECT_FALSE(agent.lookup(*net::Ipv4Address::parse("10.1.9.9"))
+                   ->action.port == 2);
+  agent.erase(0, 1);
+  auto hit = agent.lookup(*net::Ipv4Address::parse("10.1.9.9"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 2);  // materialized
+  EXPECT_FALSE(
+      agent.lookup(*net::Ipv4Address::parse("10.2.0.1")).has_value());
+}
+
+TEST(HermesAgent, MainInsertRepartitionsShadowResidents) {
+  // Mirror of Figure 4: a lower-priority rule sits in the SHADOW table and
+  // a higher-priority overlapping rule lands in MAIN afterwards (here via
+  // the over-rate fallback). The shadow rule must be re-cut or its shadow
+  // copy would mask the new higher-priority main rule.
+  HermesConfig config = test_config();
+  config.lowest_priority_optimization = false;
+  config.token_rate = 0.001;  // one token, then everything is over-rate
+  config.token_burst = 1;
+  HermesAgent agent(tcam::pica8_p3290(), 2000, config);
+  agent.insert(0, make_rule(1, 5, "192.168.0.0/16", 1));  // shadow (token)
+  ASSERT_EQ(agent.shadow_occupancy(), 1);
+  agent.insert(0, make_rule(2, 9, "192.168.2.0/24", 2));  // over-rate: main
+  ASSERT_GE(agent.main_occupancy(), 1);
+  EXPECT_GE(agent.stats().repartitions, 1u);
+  auto hit = agent.lookup(*net::Ipv4Address::parse("192.168.2.7"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 2);  // higher-priority main rule wins
+  hit = agent.lookup(*net::Ipv4Address::parse("192.168.3.7"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 1);  // untouched remainder of the /16
+}
+
+TEST(HermesAgent, MigrationEmptiesShadowAndPreservesLookups) {
+  HermesConfig config = test_config();
+  config.lowest_priority_optimization = false;
+  HermesAgent agent(tcam::pica8_p3290(), 2000, config);
+  for (net::RuleId id = 1; id <= 20; ++id)
+    agent.insert(0, make_rule(id, static_cast<int>(id),
+                              "10." + std::to_string(id) + ".0.0/16",
+                              static_cast<int>(id)));
+  ASSERT_EQ(agent.shadow_occupancy(), 20);
+  agent.migrate_now(from_millis(1));
+  EXPECT_EQ(agent.shadow_occupancy(), 0);
+  EXPECT_EQ(agent.main_occupancy(), 20);
+  EXPECT_EQ(agent.stats().migrations, 1u);
+  EXPECT_EQ(agent.stats().rules_migrated, 20u);
+  for (net::RuleId id = 1; id <= 20; ++id) {
+    auto hit = agent.lookup(
+        *net::Ipv4Address::parse("10." + std::to_string(id) + ".1.1"));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->action.port, static_cast<int>(id));
+  }
+}
+
+TEST(HermesAgent, PredictiveTickTriggersMigrationBeforeOverflow) {
+  HermesConfig config = test_config();
+  config.shadow_capacity = 32;
+  config.epoch = from_millis(10);
+  config.lowest_priority_optimization = false;
+  HermesAgent agent(tcam::pica8_p3290(), 2000, config);
+  Time now = 0;
+  net::RuleId id = 1;
+  // Steady stream: 10 rules per 10ms epoch (1000/s) against a 32-slot
+  // shadow, spread across the epoch as a controller would send them.
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    for (int k = 0; k < 10; ++k) {
+      agent.insert(now, make_rule(id++, static_cast<int>(id % 50) + 1,
+                                  "10.0.0.0/8"));
+      now += from_millis(1);
+    }
+    agent.tick(now);
+    ASSERT_LE(agent.shadow_occupancy(), 32);
+  }
+  EXPECT_GT(agent.stats().migrations, 2u);
+  EXPECT_EQ(agent.stats().violations, 0u);
+}
+
+TEST(HermesAgent, SimpleThresholdModeMigratesOnOccupancy) {
+  HermesConfig config = test_config();
+  config.shadow_capacity = 10;
+  config.simple_threshold = 0.5;
+  config.epoch = from_millis(10);
+  config.lowest_priority_optimization = false;
+  HermesAgent agent(tcam::pica8_p3290(), 2000, config);
+  for (net::RuleId id = 1; id <= 4; ++id)
+    agent.insert(0, make_rule(id, 5, "10.0.0.0/8"));
+  agent.tick(from_millis(10));
+  EXPECT_EQ(agent.stats().migrations, 0u);  // 4 < 5 = 50% of 10
+  agent.insert(from_millis(10), make_rule(9, 5, "10.0.0.0/8"));
+  agent.tick(from_millis(20));
+  EXPECT_EQ(agent.stats().migrations, 1u);
+}
+
+TEST(HermesAgent, ShadowOverflowCountsViolation) {
+  HermesConfig config = test_config();
+  config.shadow_capacity = 4;
+  config.lowest_priority_optimization = false;
+  HermesAgent agent(tcam::pica8_p3290(), 2000, config);
+  for (net::RuleId id = 1; id <= 10; ++id)
+    agent.insert(0, make_rule(id, 5, "10.0.0.0/8"));
+  // 4 fit in the shadow; the rest spill into main as violations.
+  EXPECT_EQ(agent.shadow_occupancy(), 4);
+  EXPECT_EQ(agent.stats().violations, 6u);
+  EXPECT_EQ(agent.main_occupancy(), 6);
+}
+
+TEST(HermesAgent, ActionOnlyModifyIsCheapAndCorrect) {
+  HermesAgent agent(tcam::pica8_p3290(), 2000, test_config());
+  agent.insert(0, make_rule(1, 5, "10.0.0.0/8", 1));
+  Time start = from_millis(100);
+  Time done = agent.modify(start, make_rule(1, 5, "10.0.0.0/8", 7));
+  EXPECT_LE(done - start, from_millis(1));
+  auto hit = agent.lookup(*net::Ipv4Address::parse("10.1.1.1"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 7);
+}
+
+TEST(HermesAgent, PriorityModifyBecomesDeleteInsert) {
+  HermesAgent agent(tcam::pica8_p3290(), 2000, test_config());
+  agent.insert(0, make_rule(1, 5, "10.0.0.0/8", 1));
+  std::uint64_t deletes_before = agent.stats().deletes;
+  agent.modify(from_millis(1), make_rule(1, 9, "10.0.0.0/8", 1));
+  EXPECT_EQ(agent.stats().deletes, deletes_before + 1);
+  auto hit = agent.lookup(*net::Ipv4Address::parse("10.1.1.1"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->priority, 9);
+}
+
+TEST(HermesAgent, MatchModifyRepartitionsCorrectly) {
+  HermesConfig config = test_config();
+  config.lowest_priority_optimization = false;
+  HermesAgent agent(tcam::pica8_p3290(), 2000, config);
+  agent.insert(0, make_rule(1, 10, "192.168.1.0/26", 1));
+  agent.migrate_now(0);
+  agent.insert(0, make_rule(2, 5, "10.0.0.0/8", 2));
+  // Move rule 2 onto the blocker's turf: it must get partitioned.
+  agent.modify(from_millis(1), make_rule(2, 5, "192.168.1.0/24", 2));
+  auto hit = agent.lookup(*net::Ipv4Address::parse("192.168.1.5"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 1);
+  hit = agent.lookup(*net::Ipv4Address::parse("192.168.1.200"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 2);
+  EXPECT_FALSE(agent.lookup(*net::Ipv4Address::parse("10.1.1.1")));
+}
+
+TEST(HermesAgent, EraseMissingFails) {
+  HermesAgent agent(tcam::pica8_p3290(), 2000, test_config());
+  agent.erase(0, 42);
+  EXPECT_EQ(agent.stats().failed_ops, 1u);
+}
+
+TEST(HermesAgent, ModifyMissingFails) {
+  HermesAgent agent(tcam::pica8_p3290(), 2000, test_config());
+  agent.modify(0, make_rule(42, 1, "10.0.0.0/8"));
+  EXPECT_EQ(agent.stats().failed_ops, 1u);
+}
+
+TEST(HermesAgent, DuplicateInsertActsAsModify) {
+  HermesAgent agent(tcam::pica8_p3290(), 2000, test_config());
+  agent.insert(0, make_rule(1, 5, "10.0.0.0/8", 1));
+  agent.insert(from_millis(1), make_rule(1, 5, "10.0.0.0/8", 9));
+  EXPECT_EQ(agent.stats().modifies, 1u);
+  EXPECT_EQ(agent.lookup(*net::Ipv4Address::parse("10.1.1.1"))->action.port,
+            9);
+}
+
+TEST(HermesAgent, RitSamplesRecorded) {
+  HermesAgent agent(tcam::pica8_p3290(), 2000, test_config());
+  for (net::RuleId id = 1; id <= 5; ++id)
+    agent.insert(0, make_rule(id, static_cast<int>(id), "10.0.0.0/8"));
+  EXPECT_EQ(agent.rit_samples().size(), 5u);
+  agent.clear_rit_samples();
+  EXPECT_TRUE(agent.rit_samples().empty());
+}
+
+TEST(HermesAgent, Equation2RateIsPositiveAndFinite) {
+  HermesAgent agent(tcam::pica8_p3290(), 2000, test_config());
+  double rate = HermesAgent::derive_admitted_rate(
+      tcam::pica8_p3290(), agent.shadow_capacity(), 1.5,
+      agent.main_capacity() / 2);
+  EXPECT_GT(rate, 0);
+  EXPECT_LT(rate, 1e7);
+  // More partitions per rule => lower supported rate (Equation 2).
+  double rate_high_rp = HermesAgent::derive_admitted_rate(
+      tcam::pica8_p3290(), agent.shadow_capacity(), 3.0,
+      agent.main_capacity() / 2);
+  EXPECT_LT(rate_high_rp, rate);
+}
+
+// --- The Section 4 guarantee, property-tested -------------------------------
+//
+// Whatever sequence of control-plane actions and migrations happens, the
+// two tables must behave exactly like one monolithic table. The reference
+// oracle keeps the logical rules and resolves lookups by highest priority
+// (priorities are unique per rule so the oracle is deterministic).
+class AgentEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AgentEquivalence, MatchesMonolithicOracle) {
+  std::mt19937_64 rng(GetParam());
+  HermesConfig config = test_config();
+  config.shadow_capacity = 48;
+  config.epoch = from_millis(10);
+  // Exercise both gate keeper paths.
+  config.lowest_priority_optimization = (GetParam() % 2) == 0;
+  HermesAgent agent(tcam::pica8_p3290(), 4000, config);
+
+  std::map<net::RuleId, Rule> reference;
+  net::RuleId next_id = 1;
+  int next_priority = 1;
+  Time now = 0;
+
+  auto check = [&](int samples) {
+    for (int s = 0; s < samples; ++s) {
+      net::Ipv4Address addr(static_cast<std::uint32_t>(rng()));
+      const Rule* best = nullptr;
+      for (const auto& [id, r] : reference) {
+        if (!r.match.contains(addr)) continue;
+        if (!best || r.priority > best->priority) best = &r;
+      }
+      auto got = agent.lookup(addr);
+      if (!best) {
+        EXPECT_FALSE(got.has_value()) << addr.to_string();
+      } else {
+        ASSERT_TRUE(got.has_value()) << addr.to_string();
+        EXPECT_EQ(got->action.port, best->action.port)
+            << addr.to_string() << " want rule " << best->id;
+      }
+    }
+  };
+
+  for (int step = 0; step < 500; ++step) {
+    now += from_micros(500);
+    int op = static_cast<int>(rng() % 10);
+    if (op < 6 || reference.empty()) {
+      // Insert: short prefixes make overlap (and partitioning) common.
+      Rule r{next_id++, next_priority++,
+             Prefix(net::Ipv4Address(static_cast<std::uint32_t>(rng())),
+                    static_cast<int>(rng() % 12)),
+             net::forward_to(static_cast<int>(rng() % 1000))};
+      agent.insert(now, r);
+      reference.emplace(r.id, r);
+    } else if (op < 8) {
+      auto it = reference.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng() % reference.size()));
+      agent.erase(now, it->first);
+      reference.erase(it);
+    } else {
+      auto it = reference.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng() % reference.size()));
+      Rule updated = it->second;
+      if (rng() % 2 == 0) {
+        updated.action = net::forward_to(static_cast<int>(rng() % 1000));
+      } else {
+        updated.match =
+            Prefix(net::Ipv4Address(static_cast<std::uint32_t>(rng())),
+                   static_cast<int>(rng() % 12));
+        updated.priority = next_priority++;
+      }
+      agent.modify(now, updated);
+      it->second = updated;
+    }
+    agent.tick(now);
+    if (step % 25 == 0) check(40);
+    ASSERT_LE(agent.shadow_occupancy(), agent.shadow_capacity());
+  }
+  // Force a final migration and re-verify.
+  agent.migrate_now(now);
+  check(400);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AgentEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace hermes::core

@@ -1,0 +1,127 @@
+#include "hermes/incremental_update.h"
+
+#include <gtest/gtest.h>
+
+#include "tcam/switch_model.h"
+
+namespace hermes::core {
+namespace {
+
+using net::Prefix;
+using net::Rule;
+
+Rule make_rule(net::RuleId id, int priority, std::string_view prefix,
+               int port) {
+  return Rule{id, priority, *Prefix::parse(prefix), net::forward_to(port)};
+}
+
+tcam::Asic fresh_asic() { return tcam::Asic(tcam::pica8_p3290(), {64}); }
+
+TEST(IncrementalReplace, MergesSiblingsAtomically) {
+  // Two sibling /25s (port 3) consolidated into one /24.
+  tcam::Asic asic = fresh_asic();
+  asic.apply(0, {net::FlowModType::kInsert,
+                 make_rule(1, 5, "10.0.0.0/25", 3)});
+  asic.apply(0, {net::FlowModType::kInsert,
+                 make_rule(2, 5, "10.0.0.128/25", 3)});
+  Rule merged = make_rule(100, 5, "10.0.0.0/24", 3);
+  net::RuleId replaced[] = {1, 2};
+  auto result = incremental_replace(asic, 0, 0, merged, replaced);
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.atomic);
+  EXPECT_EQ(result.bumped_priority, 6);  // one above the replaced rules
+  EXPECT_EQ(asic.slice(0).occupancy(), 1);
+  auto hit = asic.lookup(*net::Ipv4Address::parse("10.0.0.200"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 3);
+}
+
+TEST(IncrementalReplace, NoGapDuringAtomicPath) {
+  // Probe the intermediate state by replaying the algorithm manually:
+  // after the insert (step iii, first half) BOTH old and new rules are
+  // present — never zero coverage.
+  tcam::Asic asic = fresh_asic();
+  asic.apply(0, {net::FlowModType::kInsert,
+                 make_rule(1, 5, "10.0.0.0/25", 3)});
+  Rule merged = make_rule(100, 5, "10.0.0.0/24", 3);
+  merged.priority = 6;  // what the bump would pick
+  asic.apply(0, {net::FlowModType::kInsert, merged});
+  // Intermediate: both resident, lookup still answers.
+  auto hit = asic.lookup(*net::Ipv4Address::parse("10.0.0.5"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 3);
+  EXPECT_EQ(hit->id, 100u);  // the bumped rule wins, as designed
+}
+
+TEST(IncrementalReplace, RefusesUnsafeBumpWithoutFallback) {
+  // An unrelated overlapping rule sits exactly at the bump target
+  // priority: bumping would reorder against it.
+  tcam::Asic asic = fresh_asic();
+  asic.apply(0, {net::FlowModType::kInsert,
+                 make_rule(1, 5, "10.0.0.0/25", 3)});
+  asic.apply(0, {net::FlowModType::kInsert,
+                 make_rule(2, 6, "10.0.0.0/8", 9)});  // unrelated, prio 6
+  Rule merged = make_rule(100, 5, "10.0.0.0/24", 3);
+  net::RuleId replaced[] = {1};
+  auto result = incremental_replace(asic, 0, 0, merged, replaced,
+                                    /*allow_fallback=*/false);
+  EXPECT_FALSE(result.ok);
+  // Old state untouched.
+  EXPECT_TRUE(asic.slice(0).contains(1));
+  EXPECT_FALSE(asic.slice(0).contains(100));
+}
+
+TEST(IncrementalReplace, UnsafeBumpFallsBackNonAtomically) {
+  tcam::Asic asic = fresh_asic();
+  asic.apply(0, {net::FlowModType::kInsert,
+                 make_rule(1, 5, "10.0.0.0/25", 3)});
+  asic.apply(0, {net::FlowModType::kInsert,
+                 make_rule(2, 6, "10.0.0.0/8", 9)});
+  Rule merged = make_rule(100, 5, "10.0.0.0/24", 3);
+  net::RuleId replaced[] = {1};
+  auto result = incremental_replace(asic, 0, 0, merged, replaced);
+  EXPECT_TRUE(result.ok);
+  EXPECT_FALSE(result.atomic);
+  EXPECT_EQ(result.bumped_priority, 5);  // original priority kept
+  // Final semantics correct: /8 (prio 6) still outranks the merged /24.
+  auto hit = asic.lookup(*net::Ipv4Address::parse("10.0.0.5"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 9);
+}
+
+TEST(IncrementalReplace, EmptyReplacedSetIsPlainInsert) {
+  tcam::Asic asic = fresh_asic();
+  Rule rule = make_rule(100, 5, "10.0.0.0/24", 3);
+  auto result = incremental_replace(asic, 0, 0, rule, {});
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.atomic);
+  EXPECT_EQ(result.bumped_priority, 5);
+  EXPECT_EQ(asic.slice(0).occupancy(), 1);
+}
+
+TEST(IncrementalReplace, MissingReplacedIdsIgnored) {
+  tcam::Asic asic = fresh_asic();
+  asic.apply(0, {net::FlowModType::kInsert,
+                 make_rule(1, 5, "10.0.0.0/25", 3)});
+  Rule merged = make_rule(100, 5, "10.0.0.0/24", 3);
+  net::RuleId replaced[] = {1, 999};  // 999 never existed
+  auto result = incremental_replace(asic, 0, 0, merged, replaced);
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.atomic);
+  EXPECT_EQ(asic.slice(0).occupancy(), 1);
+}
+
+TEST(IncrementalReplace, ChargesControlChannelTime) {
+  tcam::Asic asic = fresh_asic();
+  asic.apply(0, {net::FlowModType::kInsert,
+                 make_rule(1, 5, "10.0.0.0/25", 3)});
+  Rule merged = make_rule(100, 5, "10.0.0.0/24", 3);
+  net::RuleId replaced[] = {1};
+  auto result = incremental_replace(asic, 0, from_millis(3), merged,
+                                    replaced);
+  EXPECT_GT(result.completion, from_millis(3));
+  EXPECT_EQ(asic.busy_until(0), result.completion);
+}
+
+}  // namespace
+}  // namespace hermes::core

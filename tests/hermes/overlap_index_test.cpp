@@ -1,0 +1,164 @@
+#include "hermes/overlap_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <random>
+
+namespace hermes::core {
+namespace {
+
+using net::Prefix;
+using net::Rule;
+
+constexpr int kAll = std::numeric_limits<int>::min();
+
+Rule make_rule(net::RuleId id, int priority, std::string_view prefix) {
+  return Rule{id, priority, *Prefix::parse(prefix), net::forward_to(1)};
+}
+
+std::vector<net::RuleId> ids_of(const std::vector<Rule>& rules) {
+  std::vector<net::RuleId> ids;
+  for (const Rule& r : rules) ids.push_back(r.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(OverlapIndex, EmptyHasNoOverlaps) {
+  OverlapIndex idx;
+  EXPECT_TRUE(idx.empty());
+  EXPECT_TRUE(idx.overlapping(*Prefix::parse("10.0.0.0/8"), kAll).empty());
+  EXPECT_FALSE(idx.has_overlap_above(Prefix::any(), kAll));
+}
+
+TEST(OverlapIndex, FindsAncestorOverlap) {
+  OverlapIndex idx;
+  idx.insert(make_rule(1, 5, "10.0.0.0/8"));
+  auto hits = idx.overlapping(*Prefix::parse("10.1.0.0/16"), kAll);
+  EXPECT_EQ(ids_of(hits), std::vector<net::RuleId>{1});
+}
+
+TEST(OverlapIndex, FindsDescendantOverlap) {
+  OverlapIndex idx;
+  idx.insert(make_rule(1, 5, "10.1.0.0/16"));
+  auto hits = idx.overlapping(*Prefix::parse("10.0.0.0/8"), kAll);
+  EXPECT_EQ(ids_of(hits), std::vector<net::RuleId>{1});
+}
+
+TEST(OverlapIndex, IgnoresDisjoint) {
+  OverlapIndex idx;
+  idx.insert(make_rule(1, 5, "11.0.0.0/8"));
+  EXPECT_TRUE(idx.overlapping(*Prefix::parse("10.0.0.0/8"), kAll).empty());
+}
+
+TEST(OverlapIndex, PriorityBoundFilters) {
+  OverlapIndex idx;
+  idx.insert(make_rule(1, 3, "10.0.0.0/8"));
+  idx.insert(make_rule(2, 7, "10.0.0.0/8"));
+  auto hits = idx.overlapping(*Prefix::parse("10.1.0.0/16"), 5);
+  EXPECT_EQ(ids_of(hits), std::vector<net::RuleId>{2});
+  EXPECT_TRUE(idx.has_overlap_above(*Prefix::parse("10.1.0.0/16"), 5));
+  EXPECT_FALSE(idx.has_overlap_above(*Prefix::parse("10.1.0.0/16"), 7));
+}
+
+TEST(OverlapIndex, SameNodeMultipleRules) {
+  OverlapIndex idx;
+  idx.insert(make_rule(1, 1, "10.0.0.0/8"));
+  idx.insert(make_rule(2, 2, "10.0.0.0/8"));
+  EXPECT_EQ(idx.size(), 2u);
+  auto hits = idx.overlapping(*Prefix::parse("10.0.0.0/8"), kAll);
+  EXPECT_EQ(ids_of(hits), (std::vector<net::RuleId>{1, 2}));
+}
+
+TEST(OverlapIndex, EraseRemovesOnlyTarget) {
+  OverlapIndex idx;
+  idx.insert(make_rule(1, 1, "10.0.0.0/8"));
+  idx.insert(make_rule(2, 2, "10.0.0.0/8"));
+  EXPECT_TRUE(idx.erase(1, *Prefix::parse("10.0.0.0/8")));
+  EXPECT_EQ(idx.size(), 1u);
+  auto hits = idx.overlapping(Prefix::any(), kAll);
+  EXPECT_EQ(ids_of(hits), std::vector<net::RuleId>{2});
+}
+
+TEST(OverlapIndex, EraseMissingReturnsFalse) {
+  OverlapIndex idx;
+  idx.insert(make_rule(1, 1, "10.0.0.0/8"));
+  EXPECT_FALSE(idx.erase(2, *Prefix::parse("10.0.0.0/8")));
+  EXPECT_FALSE(idx.erase(1, *Prefix::parse("11.0.0.0/8")));
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(OverlapIndex, EraseMaintainsMaxPriorityPruning) {
+  OverlapIndex idx;
+  idx.insert(make_rule(1, 10, "10.1.0.0/16"));
+  idx.insert(make_rule(2, 3, "10.2.0.0/16"));
+  EXPECT_TRUE(idx.has_overlap_above(*Prefix::parse("10.0.0.0/8"), 5));
+  idx.erase(1, *Prefix::parse("10.1.0.0/16"));
+  EXPECT_FALSE(idx.has_overlap_above(*Prefix::parse("10.0.0.0/8"), 5));
+}
+
+TEST(OverlapIndex, ClearResets) {
+  OverlapIndex idx;
+  idx.insert(make_rule(1, 1, "10.0.0.0/8"));
+  idx.clear();
+  EXPECT_TRUE(idx.empty());
+  EXPECT_TRUE(idx.overlapping(Prefix::any(), kAll).empty());
+}
+
+TEST(OverlapIndex, DefaultRouteOverlapsEverything) {
+  OverlapIndex idx;
+  idx.insert(make_rule(1, 1, "0.0.0.0/0"));
+  EXPECT_EQ(idx.overlapping(*Prefix::parse("203.0.113.0/24"), kAll).size(),
+            1u);
+  EXPECT_EQ(idx.overlapping(*Prefix::parse("255.255.255.255/32"), kAll)
+                .size(),
+            1u);
+}
+
+// Property: results agree with a brute-force scan over random rule sets
+// under interleaved insert/erase.
+class OverlapIndexProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(OverlapIndexProperty, MatchesBruteForce) {
+  std::mt19937_64 rng(GetParam());
+  OverlapIndex idx;
+  std::vector<Rule> reference;
+  net::RuleId next_id = 1;
+
+  for (int step = 0; step < 400; ++step) {
+    if (reference.empty() || rng() % 3 != 0) {
+      Rule r{next_id++, static_cast<int>(rng() % 10),
+             Prefix(net::Ipv4Address(static_cast<std::uint32_t>(rng())),
+                    static_cast<int>(rng() % 17)),  // short => dense overlap
+             net::forward_to(1)};
+      idx.insert(r);
+      reference.push_back(r);
+    } else {
+      std::size_t victim = rng() % reference.size();
+      EXPECT_TRUE(
+          idx.erase(reference[victim].id, reference[victim].match));
+      reference.erase(reference.begin() +
+                      static_cast<std::ptrdiff_t>(victim));
+    }
+    ASSERT_EQ(idx.size(), reference.size());
+
+    Prefix probe(net::Ipv4Address(static_cast<std::uint32_t>(rng())),
+                 static_cast<int>(rng() % 25));
+    int bound = static_cast<int>(rng() % 10) - 1;
+    std::vector<net::RuleId> expected;
+    for (const Rule& r : reference)
+      if (r.match.overlaps(probe) && r.priority > bound)
+        expected.push_back(r.id);
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(ids_of(idx.overlapping(probe, bound)), expected);
+    EXPECT_EQ(idx.has_overlap_above(probe, bound), !expected.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverlapIndexProperty,
+                         ::testing::Values(3, 14, 159, 2653));
+
+}  // namespace
+}  // namespace hermes::core

@@ -1,0 +1,156 @@
+#include "hermes/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "tcam/switch_model.h"
+
+namespace hermes::core {
+namespace {
+
+using net::Prefix;
+using net::Rule;
+
+Rule fwd_rule(net::RuleId id, int priority, std::string_view prefix,
+              int port) {
+  return Rule{id, priority, *Prefix::parse(prefix), net::forward_to(port)};
+}
+
+HermesConfig fast_config(double guarantee_ms = 5) {
+  HermesConfig c;
+  c.guarantee = from_millis(guarantee_ms);
+  c.token_rate = 1e9;
+  c.token_burst = 1e9;
+  return c;
+}
+
+MultiTablePipeline two_table_pipeline(
+    MissBehavior t0_miss = MissBehavior::kGotoNextTable,
+    MissBehavior t1_miss = MissBehavior::kDrop) {
+  std::vector<TableConfig> configs(2);
+  configs[0].hermes = fast_config();
+  configs[0].miss = t0_miss;
+  configs[1].hermes = fast_config();
+  configs[1].miss = t1_miss;
+  return MultiTablePipeline(tcam::pica8_p3290(), {2000, 2000},
+                            std::move(configs));
+}
+
+TEST(Pipeline, EachTableIsIndependentlyCarved) {
+  std::vector<TableConfig> configs(2);
+  configs[0].hermes = fast_config(1);   // tight guarantee: small shadow
+  configs[1].hermes = fast_config(10);  // loose guarantee: bigger shadow
+  MultiTablePipeline pipeline(tcam::pica8_p3290(), {2000, 2000},
+                              std::move(configs));
+  EXPECT_LT(pipeline.table(0).shadow_capacity(),
+            pipeline.table(1).shadow_capacity());
+  EXPECT_EQ(pipeline.table(0).guarantee(), from_millis(1));
+  EXPECT_EQ(pipeline.table(1).guarantee(), from_millis(10));
+}
+
+TEST(Pipeline, MatchInFirstTableTerminates) {
+  auto pipeline = two_table_pipeline();
+  pipeline.handle(0, 0, {net::FlowModType::kInsert,
+                         fwd_rule(1, 5, "10.0.0.0/8", 7)});
+  pipeline.handle(0, 1, {net::FlowModType::kInsert,
+                         fwd_rule(2, 5, "10.0.0.0/8", 9)});
+  auto result = pipeline.process(*net::Ipv4Address::parse("10.1.1.1"));
+  EXPECT_EQ(result.kind, MultiTablePipeline::PipelineResult::Kind::kForward);
+  EXPECT_EQ(result.port, 7);  // table 0 wins, table 1 never consulted
+  EXPECT_EQ(result.table, 0);
+}
+
+TEST(Pipeline, GotoNextTableActionContinues) {
+  auto pipeline = two_table_pipeline();
+  Rule goto_rule{1, 5, *Prefix::parse("10.0.0.0/8"),
+                 net::Action{net::ActionType::kGotoNextTable, -1}};
+  pipeline.handle(0, 0, {net::FlowModType::kInsert, goto_rule});
+  pipeline.handle(0, 1, {net::FlowModType::kInsert,
+                         fwd_rule(2, 5, "10.0.0.0/8", 9)});
+  auto result = pipeline.process(*net::Ipv4Address::parse("10.1.1.1"));
+  EXPECT_EQ(result.kind, MultiTablePipeline::PipelineResult::Kind::kForward);
+  EXPECT_EQ(result.port, 9);
+  EXPECT_EQ(result.table, 1);
+}
+
+TEST(Pipeline, MissFallsThroughPerTableBehavior) {
+  auto pipeline = two_table_pipeline(MissBehavior::kGotoNextTable,
+                                     MissBehavior::kDrop);
+  pipeline.handle(0, 1, {net::FlowModType::kInsert,
+                         fwd_rule(1, 5, "192.168.0.0/16", 3)});
+  // Miss in table 0 -> goto next; hit in table 1.
+  auto hit = pipeline.process(*net::Ipv4Address::parse("192.168.1.1"));
+  EXPECT_EQ(hit.kind, MultiTablePipeline::PipelineResult::Kind::kForward);
+  EXPECT_EQ(hit.port, 3);
+  // Miss in both -> table 1's drop.
+  auto miss = pipeline.process(*net::Ipv4Address::parse("8.8.8.8"));
+  EXPECT_EQ(miss.kind, MultiTablePipeline::PipelineResult::Kind::kDrop);
+  EXPECT_EQ(miss.rule, net::kInvalidRuleId);
+}
+
+TEST(Pipeline, ToControllerMissBehavior) {
+  auto pipeline = two_table_pipeline(MissBehavior::kToController,
+                                     MissBehavior::kDrop);
+  auto result = pipeline.process(*net::Ipv4Address::parse("8.8.8.8"));
+  EXPECT_EQ(result.kind,
+            MultiTablePipeline::PipelineResult::Kind::kToController);
+  EXPECT_EQ(result.table, 0);
+}
+
+TEST(Pipeline, DropRuleTerminates) {
+  auto pipeline = two_table_pipeline();
+  Rule drop_rule{1, 9, *Prefix::parse("10.0.0.0/8"),
+                 net::Action{net::ActionType::kDrop, -1}};
+  pipeline.handle(0, 0, {net::FlowModType::kInsert, drop_rule});
+  pipeline.handle(0, 1, {net::FlowModType::kInsert,
+                         fwd_rule(2, 5, "10.0.0.0/8", 9)});
+  auto result = pipeline.process(*net::Ipv4Address::parse("10.1.1.1"));
+  EXPECT_EQ(result.kind, MultiTablePipeline::PipelineResult::Kind::kDrop);
+  EXPECT_EQ(result.rule, 1u);
+}
+
+TEST(Pipeline, PerTableGuaranteesHoldUnderLoad) {
+  std::vector<TableConfig> configs(2);
+  configs[0].hermes = fast_config(1);
+  configs[1].hermes = fast_config(10);
+  MultiTablePipeline pipeline(tcam::pica8_p3290(), {3000, 3000},
+                              std::move(configs));
+  Time now = 0;
+  for (int i = 0; i < 300; ++i) {
+    // Ascending priorities into both tables (worst case).
+    pipeline.handle(now, 0, {net::FlowModType::kInsert,
+                             fwd_rule(static_cast<net::RuleId>(i + 1),
+                                      i + 1, "10.0.0.0/8", 1)});
+    pipeline.handle(now, 1, {net::FlowModType::kInsert,
+                             fwd_rule(static_cast<net::RuleId>(i + 1),
+                                      i + 1, "10.0.0.0/8", 2)});
+    now += from_millis(5);
+    pipeline.tick(now);
+  }
+  EXPECT_EQ(pipeline.table(0).stats().violations, 0u);
+  EXPECT_EQ(pipeline.table(1).stats().violations, 0u);
+  // Both tables migrated independently.
+  EXPECT_GT(pipeline.table(0).stats().migrations, 0u);
+  EXPECT_GT(pipeline.table(1).stats().migrations, 0u);
+}
+
+TEST(Pipeline, ControlPlaneActionsRouteToTheRightTable) {
+  auto pipeline = two_table_pipeline();
+  pipeline.handle(0, 0, {net::FlowModType::kInsert,
+                         fwd_rule(1, 5, "10.0.0.0/8", 7)});
+  EXPECT_EQ(pipeline.table(0).stats().inserts, 1u);
+  EXPECT_EQ(pipeline.table(1).stats().inserts, 0u);
+  pipeline.handle(from_millis(1), 0,
+                  {net::FlowModType::kDelete, Rule{1, 0, {}, {}}});
+  EXPECT_FALSE(
+      pipeline.process(*net::Ipv4Address::parse("10.1.1.1")).rule != 0);
+}
+
+TEST(Pipeline, EmptyPipelineEndsInDrop) {
+  auto pipeline = two_table_pipeline(MissBehavior::kGotoNextTable,
+                                     MissBehavior::kGotoNextTable);
+  auto result = pipeline.process(*net::Ipv4Address::parse("1.2.3.4"));
+  EXPECT_EQ(result.kind, MultiTablePipeline::PipelineResult::Kind::kDrop);
+}
+
+}  // namespace
+}  // namespace hermes::core

@@ -1,0 +1,138 @@
+#include "hermes/rule_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hermes::core {
+namespace {
+
+using net::Prefix;
+using net::Rule;
+
+Rule make_rule(net::RuleId id, int priority = 1) {
+  return Rule{id, priority, *Prefix::parse("10.0.0.0/8"),
+              net::forward_to(1)};
+}
+
+LogicalRule simple(net::RuleId id, Placement placement = Placement::kShadow) {
+  return LogicalRule{make_rule(id), placement, {id}, false, {}};
+}
+
+TEST(RuleStore, AddAndFind) {
+  RuleStore store;
+  store.add(simple(1));
+  ASSERT_NE(store.find(1), nullptr);
+  EXPECT_EQ(store.find(1)->original.id, 1u);
+  EXPECT_EQ(store.find(2), nullptr);
+  EXPECT_TRUE(store.contains(1));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(RuleStore, PhysicalToLogicalMapping) {
+  RuleStore store;
+  LogicalRule lr = simple(1);
+  lr.physical_ids = {100, 101, 102};
+  lr.partitioned = true;
+  store.add(lr);
+  EXPECT_EQ(store.logical_of(101), std::optional<net::RuleId>(1));
+  EXPECT_EQ(store.logical_of(999), std::nullopt);
+}
+
+TEST(RuleStore, DependencyEdges) {
+  RuleStore store;
+  store.add(simple(10, Placement::kMain));  // the blocker
+  LogicalRule cut = simple(2);
+  cut.cut_against = {10};
+  cut.partitioned = true;
+  store.add(cut);
+  auto deps = store.dependents_of(10);
+  EXPECT_EQ(deps, std::vector<net::RuleId>{2});
+  EXPECT_TRUE(store.dependents_of(2).empty());
+}
+
+TEST(RuleStore, RemoveDropsEdgesAndMappings) {
+  RuleStore store;
+  store.add(simple(10, Placement::kMain));
+  LogicalRule cut = simple(2);
+  cut.cut_against = {10};
+  store.add(cut);
+  auto removed = store.remove(2);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->original.id, 2u);
+  EXPECT_TRUE(store.dependents_of(10).empty());
+  EXPECT_EQ(store.logical_of(2), std::nullopt);
+  EXPECT_FALSE(store.remove(2).has_value());
+}
+
+TEST(RuleStore, RebindSwapsPiecesAndEdges) {
+  RuleStore store;
+  store.add(simple(10, Placement::kMain));
+  store.add(simple(11, Placement::kMain));
+  LogicalRule cut = simple(2);
+  cut.physical_ids = {200, 201};
+  cut.partitioned = true;
+  cut.cut_against = {10};
+  store.add(cut);
+
+  store.rebind(2, Placement::kMain, {300}, false, {11});
+  const LogicalRule* lr = store.find(2);
+  ASSERT_NE(lr, nullptr);
+  EXPECT_EQ(lr->placement, Placement::kMain);
+  EXPECT_EQ(lr->physical_ids, std::vector<net::RuleId>{300});
+  EXPECT_FALSE(lr->partitioned);
+  EXPECT_EQ(store.logical_of(300), std::optional<net::RuleId>(2));
+  EXPECT_EQ(store.logical_of(200), std::nullopt);
+  EXPECT_TRUE(store.dependents_of(10).empty());
+  EXPECT_EQ(store.dependents_of(11), std::vector<net::RuleId>{2});
+}
+
+TEST(RuleStore, PlacementQueries) {
+  RuleStore store;
+  store.add(simple(1, Placement::kShadow));
+  store.add(simple(2, Placement::kMain));
+  store.add(simple(3, Placement::kShadow));
+  auto shadow = store.ids_with_placement(Placement::kShadow);
+  std::sort(shadow.begin(), shadow.end());
+  EXPECT_EQ(shadow, (std::vector<net::RuleId>{1, 3}));
+  EXPECT_EQ(store.ids_with_placement(Placement::kMain),
+            std::vector<net::RuleId>{2});
+}
+
+TEST(RuleStore, AllOriginalsSortedByPriority) {
+  RuleStore store;
+  LogicalRule a = simple(1);
+  a.original.priority = 3;
+  LogicalRule b = simple(2);
+  b.original.priority = 9;
+  store.add(a);
+  store.add(b);
+  auto originals = store.all_originals();
+  ASSERT_EQ(originals.size(), 2u);
+  EXPECT_EQ(originals[0].id, 2u);  // higher priority first
+  EXPECT_EQ(originals[1].id, 1u);
+}
+
+TEST(RuleStore, MultipleDependentsOfOneBlocker) {
+  RuleStore store;
+  store.add(simple(10, Placement::kMain));
+  for (net::RuleId id = 1; id <= 3; ++id) {
+    LogicalRule cut = simple(id);
+    cut.cut_against = {10};
+    store.add(cut);
+  }
+  auto deps = store.dependents_of(10);
+  std::sort(deps.begin(), deps.end());
+  EXPECT_EQ(deps, (std::vector<net::RuleId>{1, 2, 3}));
+}
+
+TEST(RuleStore, ClearEmptiesEverything) {
+  RuleStore store;
+  store.add(simple(1));
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.find(1), nullptr);
+}
+
+}  // namespace
+}  // namespace hermes::core

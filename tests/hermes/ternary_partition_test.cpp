@@ -1,0 +1,190 @@
+#include "hermes/ternary_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace hermes::core {
+namespace {
+
+using net::TernaryMatch;
+
+// Brute-force membership check over sampled keys in a small bit-space.
+bool covered(const std::vector<TernaryMatch>& cubes, std::uint64_t key) {
+  for (const TernaryMatch& c : cubes)
+    if (c.matches(key)) return true;
+  return false;
+}
+
+TEST(TernaryDifference, DisjointReturnsMinuend) {
+  TernaryMatch a(0b0000, 0b1000);   // bit3 = 0
+  TernaryMatch b(0b1000, 0b1000);   // bit3 = 1
+  auto diff = ternary_difference(a, b);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0], a);
+}
+
+TEST(TernaryDifference, ContainedReturnsEmpty) {
+  TernaryMatch a(0b10, 0b11);
+  TernaryMatch b(0b00, 0b00);  // wildcard contains everything
+  EXPECT_TRUE(ternary_difference(a, b).empty());
+}
+
+TEST(TernaryDifference, PartialOverlapSplitsOncePerFreedBit) {
+  // minuend: bit1=1, others free; subtrahend: bit0=1 & bit2=1.
+  TernaryMatch a(0b010, 0b010);
+  TernaryMatch b(0b101, 0b101);
+  auto diff = ternary_difference(a, b);
+  EXPECT_EQ(diff.size(), 2u);  // two freed bits got pinned
+  // Exact-cover check over the 3-bit space (plus a free high bit).
+  for (std::uint64_t key = 0; key < 16; ++key) {
+    bool in_a = a.matches(key);
+    bool in_b = b.matches(key);
+    EXPECT_EQ(covered(diff, key), in_a && !in_b) << key;
+  }
+}
+
+TEST(TernaryDifference, ExactCoverProperty) {
+  std::mt19937_64 rng(7);
+  for (int iter = 0; iter < 300; ++iter) {
+    // 8-bit universe for exhaustive checking.
+    TernaryMatch a(rng() & 0xFF, rng() & 0xFF);
+    TernaryMatch b(rng() & 0xFF, rng() & 0xFF);
+    auto diff = ternary_difference(a, b);
+    for (std::uint64_t key = 0; key < 256; ++key) {
+      EXPECT_EQ(covered(diff, key), a.matches(key) && !b.matches(key))
+          << "a=" << a.to_string() << " b=" << b.to_string()
+          << " key=" << key;
+    }
+    // Pieces must be mutually disjoint.
+    for (std::size_t i = 0; i < diff.size(); ++i)
+      for (std::size_t j = i + 1; j < diff.size(); ++j)
+        EXPECT_FALSE(diff[i].overlaps(diff[j]));
+  }
+}
+
+TEST(MergeTernary, RecombinesSiblings) {
+  // 4 cubes tiling "bit3=1" via bits 0,1 -> single cube after merging.
+  std::vector<TernaryMatch> cubes = {
+      TernaryMatch(0b1000, 0b1011), TernaryMatch(0b1001, 0b1011),
+      TernaryMatch(0b1010, 0b1011), TernaryMatch(0b1011, 0b1011)};
+  auto merged = merge_ternary(cubes);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], TernaryMatch(0b1000, 0b1000));
+}
+
+TEST(MergeTernary, DropsContained) {
+  std::vector<TernaryMatch> cubes = {TernaryMatch(0b10, 0b10),
+                                     TernaryMatch(0b11, 0b11)};
+  auto merged = merge_ternary(cubes);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], TernaryMatch(0b10, 0b10));
+}
+
+TEST(MergeTernary, PreservesCoverage) {
+  std::mt19937_64 rng(11);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<TernaryMatch> cubes;
+    int n = 1 + static_cast<int>(rng() % 8);
+    for (int i = 0; i < n; ++i)
+      cubes.emplace_back(rng() & 0x3F, rng() & 0x3F);
+    auto merged = merge_ternary(cubes);
+    EXPECT_LE(merged.size(), cubes.size());
+    for (std::uint64_t key = 0; key < 64; ++key)
+      EXPECT_EQ(covered(cubes, key), covered(merged, key)) << key;
+  }
+}
+
+TEST(TernaryPartition, Figure5cPartialOverlap) {
+  // Blocker pins bits {0,1}; the new rule pins bit 3: genuine partial
+  // overlap — neither contains the other.
+  std::vector<TernaryRule> table = {
+      {1, 10, TernaryMatch(0b0011, 0b0011), net::forward_to(1)}};
+  TernaryRule new_rule{2, 5, TernaryMatch(0b1000, 0b1000),
+                       net::forward_to(2)};
+  auto result = partition_ternary_rule(new_rule, table);
+  EXPECT_FALSE(result.redundant);
+  EXPECT_EQ(result.cut_against, std::vector<net::RuleId>{1});
+  // Exact cover: new_rule minus blocker.
+  for (std::uint64_t key = 0; key < 16; ++key) {
+    bool expect = new_rule.match.matches(key) &&
+                  !table[0].match.matches(key);
+    EXPECT_EQ(covered(result.pieces, key), expect) << key;
+  }
+}
+
+TEST(TernaryPartition, LowerPriorityBlockersIgnored) {
+  std::vector<TernaryRule> table = {
+      {1, 3, TernaryMatch(0, 0), net::forward_to(1)}};  // wildcard, lower
+  TernaryRule new_rule{2, 5, TernaryMatch(0b1, 0b1), net::forward_to(2)};
+  auto result = partition_ternary_rule(new_rule, table);
+  ASSERT_EQ(result.pieces.size(), 1u);
+  EXPECT_EQ(result.pieces[0], new_rule.match);
+  EXPECT_TRUE(result.cut_against.empty());
+}
+
+TEST(TernaryPartition, FullyCoveredIsRedundant) {
+  std::vector<TernaryRule> table = {
+      {1, 10, TernaryMatch(0b0, 0b1), net::forward_to(1)},   // bit0=0
+      {2, 10, TernaryMatch(0b1, 0b1), net::forward_to(1)}};  // bit0=1
+  TernaryRule new_rule{3, 5, TernaryMatch(0b100, 0b100),
+                       net::forward_to(2)};
+  auto result = partition_ternary_rule(new_rule, table);
+  EXPECT_TRUE(result.redundant);
+}
+
+TEST(TernaryPartition, MergeShrinksAclCuts) {
+  // The A3-ablation point: with multi-field ternary cuts the Merge step
+  // actually reduces the piece count (unlike the pure-LPM case).
+  // Blockers {b1=1,b0=1} and {b1=1,b0=0} jointly cover b1=1; the raw cut
+  // leaves the two b1=0 siblings split on b0, which Merge recombines.
+  std::vector<TernaryRule> table = {
+      {1, 10, TernaryMatch(0b11, 0b11), net::forward_to(1)},
+      {2, 9, TernaryMatch(0b10, 0b11), net::forward_to(1)}};
+  TernaryRule new_rule{3, 5, TernaryMatch(0, 0), net::forward_to(2)};
+  auto merged = partition_ternary_rule(new_rule, table, /*merge=*/true);
+  auto raw = partition_ternary_rule(new_rule, table, /*merge=*/false);
+  ASSERT_FALSE(merged.redundant);
+  EXPECT_LT(merged.pieces.size(), raw.pieces.size());
+  // Same coverage either way.
+  for (std::uint64_t key = 0; key < 16; ++key)
+    EXPECT_EQ(covered(merged.pieces, key), covered(raw.pieces, key));
+}
+
+// Full property: random small-universe tables; the piece set equals
+// "new_rule minus all higher-priority blockers" exactly.
+class TernaryPartitionProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TernaryPartitionProperty, ExactResidualCover) {
+  std::mt19937_64 rng(GetParam());
+  for (int iter = 0; iter < 120; ++iter) {
+    std::vector<TernaryRule> table;
+    int n = 1 + static_cast<int>(rng() % 6);
+    for (int i = 0; i < n; ++i) {
+      table.push_back(TernaryRule{static_cast<net::RuleId>(i + 1),
+                                  static_cast<int>(rng() % 12),
+                                  TernaryMatch(rng() & 0xFF, rng() & 0xFF),
+                                  net::forward_to(1)});
+    }
+    TernaryRule new_rule{100, static_cast<int>(rng() % 12),
+                         TernaryMatch(rng() & 0xFF, rng() & 0xFF),
+                         net::forward_to(2)};
+    auto result = partition_ternary_rule(new_rule, table);
+    for (std::uint64_t key = 0; key < 256; ++key) {
+      bool blocked = false;
+      for (const TernaryRule& r : table)
+        if (r.priority > new_rule.priority && r.match.matches(key))
+          blocked = true;
+      bool expect = new_rule.match.matches(key) && !blocked;
+      EXPECT_EQ(covered(result.pieces, key), expect) << key;
+    }
+    EXPECT_EQ(result.redundant, result.pieces.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TernaryPartitionProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace hermes::core

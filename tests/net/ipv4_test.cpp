@@ -1,0 +1,271 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+namespace hermes::net {
+namespace {
+
+TEST(Ipv4Address, ParsesDottedQuad) {
+  auto a = Ipv4Address::parse("192.168.1.5");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0xC0A80105u);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.x").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("-1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3").has_value());
+}
+
+TEST(Ipv4Address, ToStringRoundTrips) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Ipv4Address a(static_cast<std::uint32_t>(rng()));
+    auto parsed = Ipv4Address::parse(a.to_string());
+    ASSERT_TRUE(parsed.has_value()) << a.to_string();
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST(Ipv4Address, FromOctets) {
+  EXPECT_EQ(Ipv4Address::from_octets(10, 0, 0, 1).value(), 0x0A000001u);
+  EXPECT_EQ(Ipv4Address::from_octets(255, 255, 255, 255).value(),
+            0xFFFFFFFFu);
+}
+
+TEST(Prefix, CanonicalizesHostBits) {
+  Prefix p(Ipv4Address::from_octets(192, 168, 1, 77), 24);
+  EXPECT_EQ(p.address(), Ipv4Address::from_octets(192, 168, 1, 0));
+  EXPECT_EQ(p.length(), 24);
+}
+
+TEST(Prefix, ClampsLength) {
+  Prefix low(Ipv4Address(0), -5);
+  EXPECT_EQ(low.length(), 0);
+  Prefix high(Ipv4Address(1), 99);
+  EXPECT_EQ(high.length(), 32);
+}
+
+TEST(Prefix, ParseRoundTrips) {
+  auto p = Prefix::parse("10.1.0.0/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "10.1.0.0/16");
+  EXPECT_FALSE(Prefix::parse("10.1.0.0").has_value());
+  EXPECT_FALSE(Prefix::parse("10.1.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.1.0.0/a").has_value());
+  EXPECT_FALSE(Prefix::parse("10.1.0.0/16x").has_value());
+}
+
+TEST(Prefix, MaskValues) {
+  EXPECT_EQ(Prefix::mask_for(0), 0u);
+  EXPECT_EQ(Prefix::mask_for(1), 0x80000000u);
+  EXPECT_EQ(Prefix::mask_for(24), 0xFFFFFF00u);
+  EXPECT_EQ(Prefix::mask_for(32), 0xFFFFFFFFu);
+}
+
+TEST(Prefix, ContainsAddress) {
+  auto p = *Prefix::parse("192.168.1.0/24");
+  EXPECT_TRUE(p.contains(*Ipv4Address::parse("192.168.1.5")));
+  EXPECT_TRUE(p.contains(*Ipv4Address::parse("192.168.1.255")));
+  EXPECT_FALSE(p.contains(*Ipv4Address::parse("192.168.2.0")));
+  EXPECT_TRUE(Prefix::any().contains(*Ipv4Address::parse("8.8.8.8")));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  auto p24 = *Prefix::parse("192.168.1.0/24");
+  auto p26 = *Prefix::parse("192.168.1.64/26");
+  EXPECT_TRUE(p24.contains(p26));
+  EXPECT_FALSE(p26.contains(p24));
+  EXPECT_TRUE(p24.contains(p24));
+  EXPECT_TRUE(Prefix::any().contains(p24));
+}
+
+TEST(Prefix, OverlapIsContainment) {
+  auto a = *Prefix::parse("10.0.0.0/8");
+  auto b = *Prefix::parse("10.1.0.0/16");
+  auto c = *Prefix::parse("11.0.0.0/8");
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Prefix, ChildrenPartitionParent) {
+  auto p = *Prefix::parse("192.168.0.0/16");
+  Prefix l = p.left_child();
+  Prefix r = p.right_child();
+  EXPECT_EQ(l.to_string(), "192.168.0.0/17");
+  EXPECT_EQ(r.to_string(), "192.168.128.0/17");
+  EXPECT_TRUE(p.contains(l));
+  EXPECT_TRUE(p.contains(r));
+  EXPECT_FALSE(l.overlaps(r));
+  EXPECT_EQ(l.size() + r.size(), p.size());
+}
+
+TEST(Prefix, SiblingAndParent) {
+  auto p = *Prefix::parse("192.168.128.0/17");
+  EXPECT_EQ(p.sibling().to_string(), "192.168.0.0/17");
+  EXPECT_EQ(p.parent().to_string(), "192.168.0.0/16");
+  EXPECT_EQ(p.sibling().sibling(), p);
+}
+
+TEST(Prefix, FirstLastSize) {
+  auto p = *Prefix::parse("10.0.0.0/30");
+  EXPECT_EQ(p.first().to_string(), "10.0.0.0");
+  EXPECT_EQ(p.last().to_string(), "10.0.0.3");
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(Prefix::any().size(), std::uint64_t{1} << 32);
+}
+
+// --- prefix_difference -----------------------------------------------------
+
+TEST(PrefixDifference, ExactCoverOfSetDifference) {
+  auto outer = *Prefix::parse("192.168.1.0/24");
+  auto inner = *Prefix::parse("192.168.1.0/26");
+  auto diff = prefix_difference(outer, inner);
+  // Expect /25 + /26 siblings: 192.168.1.128/25 and 192.168.1.64/26.
+  ASSERT_EQ(diff.size(), 2u);
+  std::set<std::string> got;
+  for (const auto& p : diff) got.insert(p.to_string());
+  EXPECT_TRUE(got.count("192.168.1.128/25"));
+  EXPECT_TRUE(got.count("192.168.1.64/26"));
+}
+
+TEST(PrefixDifference, EmptyWhenEqual) {
+  auto p = *Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(prefix_difference(p, p).empty());
+}
+
+TEST(PrefixDifference, EmptyWhenDisjoint) {
+  EXPECT_TRUE(prefix_difference(*Prefix::parse("10.0.0.0/8"),
+                                *Prefix::parse("11.0.0.0/8"))
+                  .empty());
+}
+
+// Property: the difference pieces are disjoint, inside outer, disjoint from
+// inner, and their sizes sum to |outer| - |inner|.
+class PrefixDifferenceProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixDifferenceProperty, PiecesFormExactPartition) {
+  std::mt19937_64 rng(GetParam());
+  for (int iter = 0; iter < 100; ++iter) {
+    int outer_len = static_cast<int>(rng() % 25);
+    Prefix outer(Ipv4Address(static_cast<std::uint32_t>(rng())), outer_len);
+    int inner_len = outer_len + 1 + static_cast<int>(rng() % 8);
+    // Random inner inside outer.
+    std::uint32_t inner_addr =
+        outer.address().value() |
+        (static_cast<std::uint32_t>(rng()) & ~outer.mask());
+    Prefix inner(Ipv4Address(inner_addr), inner_len);
+    ASSERT_TRUE(outer.contains(inner));
+
+    auto diff = prefix_difference(outer, inner);
+    ASSERT_EQ(diff.size(),
+              static_cast<std::size_t>(inner_len - outer_len));
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < diff.size(); ++i) {
+      EXPECT_TRUE(outer.contains(diff[i]));
+      EXPECT_FALSE(diff[i].overlaps(inner));
+      total += diff[i].size();
+      for (std::size_t j = i + 1; j < diff.size(); ++j)
+        EXPECT_FALSE(diff[i].overlaps(diff[j]));
+    }
+    EXPECT_EQ(total, outer.size() - inner.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixDifferenceProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --- merge_prefixes --------------------------------------------------------
+
+TEST(MergePrefixes, MergesFullSiblingPairs) {
+  std::vector<Prefix> in = {*Prefix::parse("192.168.0.0/17"),
+                            *Prefix::parse("192.168.128.0/17")};
+  auto out = merge_prefixes(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].to_string(), "192.168.0.0/16");
+}
+
+TEST(MergePrefixes, CascadingMerge) {
+  // Four /18s forming a /16 must collapse all the way.
+  std::vector<Prefix> in;
+  for (std::uint32_t i = 0; i < 4; ++i)
+    in.emplace_back(Ipv4Address(0x0A000000u | (i << 14)), 18);
+  auto out = merge_prefixes(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].to_string(), "10.0.0.0/16");
+}
+
+TEST(MergePrefixes, DropsContainedAndDuplicate) {
+  std::vector<Prefix> in = {*Prefix::parse("10.0.0.0/8"),
+                            *Prefix::parse("10.1.0.0/16"),
+                            *Prefix::parse("10.0.0.0/8")};
+  auto out = merge_prefixes(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].to_string(), "10.0.0.0/8");
+}
+
+TEST(MergePrefixes, KeepsDisjointUnmergeable) {
+  std::vector<Prefix> in = {*Prefix::parse("10.0.0.0/9"),
+                            *Prefix::parse("11.0.0.0/9")};
+  auto out = merge_prefixes(in);
+  EXPECT_EQ(out.size(), 2u);  // not siblings: cannot merge
+}
+
+// Property: merging preserves the matched address set and never increases
+// the number of prefixes.
+class MergePrefixesProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MergePrefixesProperty, PreservesCoverage) {
+  std::mt19937_64 rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<Prefix> in;
+    int n = 1 + static_cast<int>(rng() % 12);
+    for (int i = 0; i < n; ++i) {
+      in.emplace_back(Ipv4Address(static_cast<std::uint32_t>(rng())),
+                      static_cast<int>(rng() % 12));  // short => overlap-rich
+    }
+    auto out = merge_prefixes(in);
+    EXPECT_LE(out.size(), in.size());
+    // Output must be mutually disjoint.
+    for (std::size_t i = 0; i < out.size(); ++i)
+      for (std::size_t j = i + 1; j < out.size(); ++j)
+        EXPECT_FALSE(out[i].overlaps(out[j]));
+    // Sampled addresses must be covered identically.
+    for (int s = 0; s < 200; ++s) {
+      Ipv4Address a(static_cast<std::uint32_t>(rng()));
+      bool in_cover = std::any_of(in.begin(), in.end(),
+                                  [&](const Prefix& p) { return p.contains(a); });
+      bool out_cover = std::any_of(
+          out.begin(), out.end(),
+          [&](const Prefix& p) { return p.contains(a); });
+      EXPECT_EQ(in_cover, out_cover) << a.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergePrefixesProperty,
+                         ::testing::Values(11, 22, 33));
+
+// Difference followed by merge must reproduce the minimal sibling cover.
+TEST(MergePrefixes, DifferenceThenMergeIsStable) {
+  auto outer = *Prefix::parse("0.0.0.0/0");
+  auto inner = *Prefix::parse("192.168.1.64/26");
+  auto diff = prefix_difference(outer, inner);
+  auto merged = merge_prefixes(diff);
+  // The sibling-path cover is already minimal: merge must not change it.
+  EXPECT_EQ(merged.size(), diff.size());
+}
+
+}  // namespace
+}  // namespace hermes::net

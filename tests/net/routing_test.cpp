@@ -1,0 +1,144 @@
+#include "net/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace hermes::net {
+namespace {
+
+// A small diamond: a - b - d and a - c - d, plus a slow direct a - d.
+Topology diamond() {
+  Topology t;
+  NodeId a = t.add_node(NodeKind::kSwitch, "a");
+  NodeId b = t.add_node(NodeKind::kSwitch, "b");
+  NodeId c = t.add_node(NodeKind::kSwitch, "c");
+  NodeId d = t.add_node(NodeKind::kSwitch, "d");
+  t.add_link(a, b, 1e9, 1e-3);
+  t.add_link(b, d, 1e9, 1e-3);
+  t.add_link(a, c, 1e9, 1e-3);
+  t.add_link(c, d, 1e9, 1e-3);
+  t.add_link(a, d, 1e9, 10e-3);  // direct but slow
+  return t;
+}
+
+TEST(ShortestPath, PrefersLowDelay) {
+  Topology t = diamond();
+  auto p = shortest_path(t, 0, 3, propagation_delay());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 3u);  // two-hop path beats the 10ms direct link
+}
+
+TEST(ShortestPath, HopCountPrefersDirect) {
+  Topology t = diamond();
+  auto p = shortest_path(t, 0, 3, hop_count());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Path{0, 3}));
+}
+
+TEST(ShortestPath, SelfPath) {
+  Topology t = diamond();
+  auto p = shortest_path(t, 2, 2, hop_count());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, Path{2});
+}
+
+TEST(ShortestPath, UnreachableReturnsNullopt) {
+  Topology t;
+  t.add_node(NodeKind::kSwitch, "a");
+  t.add_node(NodeKind::kSwitch, "b");
+  EXPECT_FALSE(shortest_path(t, 0, 1, hop_count()).has_value());
+}
+
+TEST(PathCost, SumsWeights) {
+  Topology t = diamond();
+  EXPECT_DOUBLE_EQ(path_cost(t, Path{0, 1, 3}, propagation_delay()), 2e-3);
+  EXPECT_DOUBLE_EQ(path_cost(t, Path{0, 3}, hop_count()), 1.0);
+  EXPECT_TRUE(std::isinf(path_cost(t, Path{0, 2, 1}, hop_count())));
+  EXPECT_TRUE(std::isinf(path_cost(t, Path{}, hop_count())));
+}
+
+TEST(EcmpPaths, FindsBothDiamondArms) {
+  Topology t = diamond();
+  auto paths = ecmp_paths(t, 0, 3, propagation_delay(), 8);
+  ASSERT_EQ(paths.size(), 2u);
+  std::set<Path> got(paths.begin(), paths.end());
+  EXPECT_TRUE(got.count(Path{0, 1, 3}));
+  EXPECT_TRUE(got.count(Path{0, 2, 3}));
+}
+
+TEST(EcmpPaths, RespectsMaxPaths) {
+  Topology t = diamond();
+  auto paths = ecmp_paths(t, 0, 3, propagation_delay(), 1);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(EcmpPaths, FatTreeInterPodCount) {
+  // Between hosts in different pods of a k=4 fat-tree there are
+  // (k/2)^2 = 4 equal-cost shortest paths.
+  Topology t = fat_tree(4);
+  auto hosts = t.hosts();
+  NodeId src = hosts.front();
+  NodeId dst = hosts.back();
+  auto paths = ecmp_paths(t, src, dst, hop_count(), 32);
+  EXPECT_EQ(paths.size(), 4u);
+  for (const Path& p : paths) {
+    EXPECT_EQ(p.size(), 7u);  // host-edge-agg-core-agg-edge-host
+    EXPECT_EQ(p.front(), src);
+    EXPECT_EQ(p.back(), dst);
+  }
+}
+
+TEST(EcmpPaths, SameEdgeSwitchSinglePath) {
+  Topology t = fat_tree(4);
+  auto hosts = t.hosts();
+  // hosts under the same edge switch are consecutive in construction order
+  auto paths = ecmp_paths(t, hosts[0], hosts[1], hop_count(), 32);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].size(), 3u);
+}
+
+TEST(KShortestPaths, OrderedAndLoopless) {
+  Topology t = diamond();
+  auto paths = k_shortest_paths(t, 0, 3, propagation_delay(), 3);
+  ASSERT_EQ(paths.size(), 3u);
+  double prev = 0;
+  for (const Path& p : paths) {
+    double c = path_cost(t, p, propagation_delay());
+    EXPECT_GE(c, prev);
+    prev = c;
+    std::set<NodeId> uniq(p.begin(), p.end());
+    EXPECT_EQ(uniq.size(), p.size()) << "loop in path";
+  }
+  EXPECT_EQ(paths[2], (Path{0, 3}));  // slow direct link comes last
+}
+
+TEST(KShortestPaths, StopsWhenExhausted) {
+  Topology t;
+  NodeId a = t.add_node(NodeKind::kSwitch, "a");
+  NodeId b = t.add_node(NodeKind::kSwitch, "b");
+  t.add_link(a, b, 1e9, 1e-3);
+  auto paths = k_shortest_paths(t, a, b, hop_count(), 5);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(PathDatabase, MemoizesAndFills) {
+  Topology t = diamond();
+  PathDatabase db(t, 3, propagation_delay());
+  const auto& p1 = db.paths(0, 3);
+  EXPECT_EQ(p1.size(), 3u);  // 2 ECMP + 1 Yen (direct link)
+  const auto& p2 = db.paths(0, 3);
+  EXPECT_EQ(&p1, &p2);  // memoized: same storage
+}
+
+TEST(PathDatabase, UnreachablePairYieldsEmpty) {
+  Topology t;
+  t.add_node(NodeKind::kSwitch, "a");
+  t.add_node(NodeKind::kSwitch, "b");
+  PathDatabase db(t, 2, hop_count());
+  EXPECT_TRUE(db.paths(0, 1).empty());
+}
+
+}  // namespace
+}  // namespace hermes::net

@@ -1,0 +1,50 @@
+#include "net/rule.h"
+
+#include <gtest/gtest.h>
+
+namespace hermes::net {
+namespace {
+
+TEST(Rule, SameBehaviorIgnoresId) {
+  Rule a{1, 10, *Prefix::parse("10.0.0.0/8"), forward_to(3)};
+  Rule b{2, 10, *Prefix::parse("10.0.0.0/8"), forward_to(3)};
+  EXPECT_TRUE(a.same_behavior(b));
+  EXPECT_NE(a, b);
+}
+
+TEST(Rule, SameBehaviorDetectsDifferences) {
+  Rule base{1, 10, *Prefix::parse("10.0.0.0/8"), forward_to(3)};
+  Rule diff_prio = base;
+  diff_prio.priority = 11;
+  Rule diff_match = base;
+  diff_match.match = *Prefix::parse("11.0.0.0/8");
+  Rule diff_action = base;
+  diff_action.action = forward_to(4);
+  EXPECT_FALSE(base.same_behavior(diff_prio));
+  EXPECT_FALSE(base.same_behavior(diff_match));
+  EXPECT_FALSE(base.same_behavior(diff_action));
+}
+
+TEST(Action, ToStringCoversAllTypes) {
+  EXPECT_EQ(to_string(forward_to(7)), "fwd(7)");
+  EXPECT_EQ(to_string(Action{ActionType::kDrop, -1}), "drop");
+  EXPECT_EQ(to_string(Action{ActionType::kToController, -1}),
+            "to-controller");
+  EXPECT_EQ(to_string(Action{ActionType::kGotoNextTable, -1}),
+            "goto-next-table");
+}
+
+TEST(Rule, ToStringIsReadable) {
+  Rule r{42, 5, *Prefix::parse("192.168.0.0/16"), forward_to(1)};
+  EXPECT_EQ(to_string(r), "#42 prio=5 192.168.0.0/16 -> fwd(1)");
+}
+
+TEST(FlowMod, ToStringShowsVerb) {
+  Rule r{1, 0, Prefix::any(), forward_to(0)};
+  EXPECT_TRUE(to_string(FlowMod{FlowModType::kInsert, r}).starts_with("insert"));
+  EXPECT_TRUE(to_string(FlowMod{FlowModType::kDelete, r}).starts_with("delete"));
+  EXPECT_TRUE(to_string(FlowMod{FlowModType::kModify, r}).starts_with("modify"));
+}
+
+}  // namespace
+}  // namespace hermes::net

@@ -1,0 +1,130 @@
+#include "net/ternary.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace hermes::net {
+namespace {
+
+TEST(TernaryMatch, DefaultMatchesEverything) {
+  TernaryMatch any;
+  EXPECT_TRUE(any.matches(0));
+  EXPECT_TRUE(any.matches(~std::uint64_t{0}));
+  EXPECT_EQ(any.specificity(), 0);
+}
+
+TEST(TernaryMatch, CanonicalizesDontCareBits) {
+  TernaryMatch t(0xFFull, 0x0Full);
+  EXPECT_EQ(t.value(), 0x0Full);
+}
+
+TEST(TernaryMatch, MatchesExactKey) {
+  TernaryMatch t(0xAB, 0xFF);
+  EXPECT_TRUE(t.matches(0xAB));
+  EXPECT_FALSE(t.matches(0xAC));
+  EXPECT_TRUE(t.matches(0xAB | 0xFF00));  // upper bits don't-care
+}
+
+TEST(TernaryMatch, FromPrefixRoundTrips) {
+  auto p = *Prefix::parse("10.32.0.0/11");
+  auto t = TernaryMatch::from_prefix(p);
+  auto back = t.to_prefix();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p);
+}
+
+TEST(TernaryMatch, ToPrefixRejectsNonPrefixMasks) {
+  EXPECT_FALSE(TernaryMatch(0, 0x0F0F0F0Full).to_prefix().has_value());
+  EXPECT_FALSE(TernaryMatch(0, 0xFF00000000ull).to_prefix().has_value());
+  EXPECT_TRUE(TernaryMatch(0, 0).to_prefix().has_value());  // /0
+}
+
+TEST(TernaryMatch, OverlapAgreement) {
+  TernaryMatch a(0b1010, 0b1111);
+  TernaryMatch b(0b1010, 0b1110);
+  TernaryMatch c(0b0000, 0b1000);
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));  // disagree on bit 3
+  EXPECT_TRUE(b.overlaps(a));
+}
+
+TEST(TernaryMatch, ContainmentIsPartialOrder) {
+  TernaryMatch wide(0b1000, 0b1000);
+  TernaryMatch narrow(0b1010, 0b1110);
+  EXPECT_TRUE(wide.contains(narrow));
+  EXPECT_FALSE(narrow.contains(wide));
+  EXPECT_TRUE(wide.contains(wide));
+}
+
+TEST(TernaryMatch, IntersectProducesMeet) {
+  TernaryMatch a(0b1000, 0b1100);
+  TernaryMatch b(0b0010, 0b0011);
+  auto i = a.intersect(b);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(i->value(), 0b1010u);
+  EXPECT_EQ(i->mask(), 0b1111u);
+  // Disjoint pair yields no intersection.
+  TernaryMatch c(0b0100, 0b1100);
+  EXPECT_FALSE(a.intersect(c).has_value());
+}
+
+TEST(TernaryMatch, ToStringShowsBits) {
+  TernaryMatch t(0b10, 0b11);
+  std::string s = t.to_string();
+  ASSERT_EQ(s.size(), 64u);
+  EXPECT_EQ(s.substr(62), "10");
+  EXPECT_EQ(s[0], '*');
+}
+
+// Property: overlap <=> some concrete key matches both. Containment =>
+// every key matching the contained also matches the container.
+class TernaryProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TernaryProperty, SemanticsAgreeWithSampledKeys) {
+  std::mt19937_64 rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    TernaryMatch a(rng(), rng() & 0xFFFF);  // small masks => overlaps common
+    TernaryMatch b(rng(), rng() & 0xFFFF);
+    if (a.overlaps(b)) {
+      auto i = a.intersect(b);
+      ASSERT_TRUE(i.has_value());
+      // The intersection's value is a witness key matching both.
+      EXPECT_TRUE(a.matches(i->value()));
+      EXPECT_TRUE(b.matches(i->value()));
+    } else {
+      for (int s = 0; s < 64; ++s) {
+        std::uint64_t key = rng();
+        EXPECT_FALSE(a.matches(key) && b.matches(key));
+      }
+    }
+    if (a.contains(b)) {
+      for (int s = 0; s < 64; ++s) {
+        std::uint64_t key = (rng() & ~b.mask()) | b.value();
+        ASSERT_TRUE(b.matches(key));
+        EXPECT_TRUE(a.matches(key));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TernaryProperty,
+                         ::testing::Values(101, 202, 303));
+
+// Prefix-level overlap must agree with ternary-level overlap.
+TEST(TernaryMatch, PrefixOverlapConsistency) {
+  std::mt19937_64 rng(55);
+  for (int iter = 0; iter < 300; ++iter) {
+    Prefix p(Ipv4Address(static_cast<std::uint32_t>(rng())),
+             static_cast<int>(rng() % 33));
+    Prefix q(Ipv4Address(static_cast<std::uint32_t>(rng())),
+             static_cast<int>(rng() % 33));
+    EXPECT_EQ(p.overlaps(q), TernaryMatch::from_prefix(p).overlaps(
+                                 TernaryMatch::from_prefix(q)));
+    EXPECT_EQ(p.contains(q), TernaryMatch::from_prefix(p).contains(
+                                 TernaryMatch::from_prefix(q)));
+  }
+}
+
+}  // namespace
+}  // namespace hermes::net

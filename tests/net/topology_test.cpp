@@ -1,0 +1,138 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+namespace hermes::net {
+namespace {
+
+int reachable_count(const Topology& topo, NodeId start) {
+  std::vector<char> seen(static_cast<std::size_t>(topo.node_count()), 0);
+  std::queue<NodeId> q;
+  q.push(start);
+  seen[static_cast<std::size_t>(start)] = 1;
+  int count = 0;
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    ++count;
+    for (LinkId l : topo.links_of(u)) {
+      NodeId v = topo.link(l).other(u);
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        q.push(v);
+      }
+    }
+  }
+  return count;
+}
+
+TEST(Topology, AddNodeAndLink) {
+  Topology t;
+  NodeId a = t.add_node(NodeKind::kSwitch, "a");
+  NodeId b = t.add_node(NodeKind::kHost, "b");
+  LinkId l = t.add_link(a, b, 1e9, 1e-3);
+  EXPECT_EQ(t.node_count(), 2);
+  EXPECT_EQ(t.link_count(), 1);
+  EXPECT_EQ(t.link(l).other(a), b);
+  EXPECT_EQ(t.link(l).other(b), a);
+  EXPECT_EQ(t.find_link(a, b), l);
+  EXPECT_EQ(t.find_link(b, a), l);
+}
+
+TEST(Topology, FindLinkMissing) {
+  Topology t;
+  NodeId a = t.add_node(NodeKind::kSwitch, "a");
+  NodeId b = t.add_node(NodeKind::kSwitch, "b");
+  EXPECT_EQ(t.find_link(a, b), kInvalidLink);
+}
+
+TEST(Topology, HostsAndSwitchesPartitionNodes) {
+  Topology t = single_switch(5);
+  EXPECT_EQ(t.hosts().size(), 5u);
+  EXPECT_EQ(t.switches().size(), 1u);
+  EXPECT_EQ(t.node_count(), 6);
+}
+
+// Fat-tree structural invariants [Al-Fares et al. 2008].
+class FatTreeStructure : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeStructure, CountsMatchFormulas) {
+  int k = GetParam();
+  Topology t = fat_tree(k);
+  int half = k / 2;
+  EXPECT_EQ(static_cast<int>(t.hosts().size()), k * k * k / 4);
+  EXPECT_EQ(static_cast<int>(t.switches().size()),
+            half * half + k * k);  // core + (agg+edge) per pod
+  // Links: core-agg k*(k/2)^2... per pod: half*half agg-core + half*half
+  // agg-edge + half*half host links.
+  EXPECT_EQ(t.link_count(), 3 * k * half * half);
+}
+
+TEST_P(FatTreeStructure, IsConnected) {
+  int k = GetParam();
+  Topology t = fat_tree(k);
+  EXPECT_EQ(reachable_count(t, 0), t.node_count());
+}
+
+TEST_P(FatTreeStructure, HostsHaveDegreeOne) {
+  Topology t = fat_tree(GetParam());
+  for (NodeId h : t.hosts()) EXPECT_EQ(t.links_of(h).size(), 1u);
+}
+
+TEST_P(FatTreeStructure, SwitchDegreeIsK) {
+  int k = GetParam();
+  Topology t = fat_tree(k);
+  for (NodeId s : t.switches()) {
+    EXPECT_EQ(static_cast<int>(t.links_of(s).size()), k)
+        << t.node(s).name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FatTreeStructure, ::testing::Values(4, 8, 16));
+
+TEST(IspTopologies, AbileneShape) {
+  Topology t = abilene();
+  EXPECT_EQ(t.switches().size(), 12u);
+  EXPECT_EQ(t.hosts().size(), 12u);   // one ingress host per PoP
+  EXPECT_EQ(t.link_count(), 15 + 12); // trunks + host attachments
+  EXPECT_EQ(reachable_count(t, 0), t.node_count());
+}
+
+TEST(IspTopologies, GeantShape) {
+  Topology t = geant();
+  EXPECT_EQ(t.switches().size(), 23u);
+  EXPECT_EQ(t.link_count(), 37 + 23);
+  EXPECT_EQ(reachable_count(t, 0), t.node_count());
+}
+
+TEST(IspTopologies, QuestShape) {
+  Topology t = quest();
+  EXPECT_EQ(t.switches().size(), 20u);
+  EXPECT_EQ(t.link_count(), 31 + 20);
+  EXPECT_EQ(reachable_count(t, 0), t.node_count());
+}
+
+TEST(PathLinks, ResolvesValidPath) {
+  Topology t = single_switch(3);
+  auto hosts = t.hosts();
+  Path p{hosts[0], t.switches()[0], hosts[1]};
+  auto links = path_links(t, p);
+  ASSERT_EQ(links.size(), 2u);
+}
+
+TEST(PathLinks, EmptyOnBrokenPath) {
+  Topology t = single_switch(3);
+  auto hosts = t.hosts();
+  Path p{hosts[0], hosts[1]};  // no direct host-host link
+  EXPECT_TRUE(path_links(t, p).empty());
+}
+
+TEST(PathLinks, TrivialPathHasNoLinks) {
+  Topology t = single_switch(1);
+  EXPECT_TRUE(path_links(t, Path{0}).empty());
+}
+
+}  // namespace
+}  // namespace hermes::net

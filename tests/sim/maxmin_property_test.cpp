@@ -1,0 +1,127 @@
+// Property tests of the max-min fair allocator against the defining
+// conditions of max-min fairness, on random topologies and flow sets.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "net/routing.h"
+#include "sim/fluid_network.h"
+
+namespace hermes::sim {
+namespace {
+
+struct Scenario {
+  net::Topology topo;
+  std::vector<std::vector<net::LinkId>> flow_links;
+};
+
+Scenario random_scenario(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Scenario s;
+  // Random connected graph: a ring plus chords.
+  int n = 5 + static_cast<int>(rng() % 6);
+  for (int i = 0; i < n; ++i)
+    s.topo.add_node(net::NodeKind::kSwitch, "s" + std::to_string(i));
+  for (int i = 0; i < n; ++i) {
+    double gbps = 1 + static_cast<double>(rng() % 10);
+    s.topo.add_link(i, (i + 1) % n, gbps * 1e9, 1e-3);
+  }
+  int chords = static_cast<int>(rng() % 4);
+  for (int c = 0; c < chords; ++c) {
+    int a = static_cast<int>(rng() % static_cast<std::uint64_t>(n));
+    int b = static_cast<int>(rng() % static_cast<std::uint64_t>(n));
+    if (a == b || s.topo.find_link(a, b) != net::kInvalidLink) continue;
+    double gbps = 1 + static_cast<double>(rng() % 10);
+    s.topo.add_link(a, b, gbps * 1e9, 1e-3);
+  }
+  // Random flows along shortest paths.
+  int flows = 3 + static_cast<int>(rng() % 12);
+  for (int f = 0; f < flows; ++f) {
+    int a = static_cast<int>(rng() % static_cast<std::uint64_t>(n));
+    int b = static_cast<int>(rng() % static_cast<std::uint64_t>(n));
+    if (a == b) continue;
+    auto path = net::shortest_path(s.topo, a, b, net::hop_count());
+    if (!path) continue;
+    auto links = net::path_links(s.topo, *path);
+    if (!links.empty()) s.flow_links.push_back(links);
+  }
+  return s;
+}
+
+class MaxMinProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinProperty, AllocationIsFeasibleAndMaxMinFair) {
+  Scenario s = random_scenario(GetParam());
+  if (s.flow_links.empty()) GTEST_SKIP();
+  FluidNetwork net(s.topo);
+  std::vector<FlowId> ids;
+  for (const auto& links : s.flow_links)
+    ids.push_back(net.add_flow(1e12, links, 0));
+
+  // Capacity per link in bytes/s.
+  auto capacity = [&](net::LinkId l) {
+    return s.topo.link(l).capacity_bps / 8.0;
+  };
+
+  // (1) Feasibility: no link over capacity.
+  for (net::LinkId l = 0; l < s.topo.link_count(); ++l) {
+    double used = 0;
+    for (std::size_t f = 0; f < ids.size(); ++f) {
+      const auto& links = s.flow_links[f];
+      if (std::find(links.begin(), links.end(), l) != links.end())
+        used += net.rate_bytes_per_s(ids[f]);
+    }
+    EXPECT_LE(used, capacity(l) * (1 + 1e-9)) << "link " << l;
+  }
+
+  // (2) Positive rates.
+  for (FlowId id : ids) EXPECT_GT(net.rate_bytes_per_s(id), 0);
+
+  // (3) Max-min condition: every flow has a bottleneck link — a
+  // saturated link on its path where it has the (weakly) largest rate.
+  for (std::size_t f = 0; f < ids.size(); ++f) {
+    bool has_bottleneck = false;
+    for (net::LinkId l : s.flow_links[f]) {
+      double used = 0;
+      double max_rate_on_l = 0;
+      for (std::size_t g = 0; g < ids.size(); ++g) {
+        const auto& links = s.flow_links[g];
+        if (std::find(links.begin(), links.end(), l) == links.end())
+          continue;
+        used += net.rate_bytes_per_s(ids[g]);
+        max_rate_on_l = std::max(max_rate_on_l,
+                                 net.rate_bytes_per_s(ids[g]));
+      }
+      bool saturated = used >= capacity(l) * (1 - 1e-9);
+      bool is_max = net.rate_bytes_per_s(ids[f]) >=
+                    max_rate_on_l * (1 - 1e-9);
+      if (saturated && is_max) {
+        has_bottleneck = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_bottleneck) << "flow " << f << " has no bottleneck";
+  }
+}
+
+TEST_P(MaxMinProperty, RatesAreScaleInvariantInBytes) {
+  // Allocation depends on links and flow sets only, not remaining bytes.
+  Scenario s = random_scenario(GetParam());
+  if (s.flow_links.size() < 2) GTEST_SKIP();
+  FluidNetwork small(s.topo);
+  FluidNetwork large(s.topo);
+  std::vector<FlowId> a, b;
+  for (const auto& links : s.flow_links) {
+    a.push_back(small.add_flow(1e6, links, 0));
+    b.push_back(large.add_flow(1e12, links, 0));
+  }
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(small.rate_bytes_per_s(a[i]),
+                     large.rate_bytes_per_s(b[i]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace hermes::sim

@@ -1,0 +1,86 @@
+// Propagation-delay accounting in FCT/JCT (the paper's RTT observation:
+// control-plane gains matter relatively more where RTTs are small).
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace hermes::sim {
+namespace {
+
+using workloads::FlowSpec;
+using workloads::Job;
+
+Job one_flow(net::NodeId src, net::NodeId dst, double bytes) {
+  Job job;
+  job.id = 0;
+  job.arrival = 0;
+  job.flows.push_back(FlowSpec{src, dst, bytes});
+  return job;
+}
+
+// One 1 Gbps link with a fat 50 ms one-way delay.
+net::Topology long_haul() {
+  net::Topology t;
+  net::NodeId a = t.add_node(net::NodeKind::kHost, "a");
+  net::NodeId b = t.add_node(net::NodeKind::kHost, "b");
+  t.add_link(a, b, 1e9, 50e-3);
+  return t;
+}
+
+TEST(Propagation, AddsPathDelayToFct) {
+  net::Topology topo = long_haul();
+  SimConfig config;  // propagation on by default
+  Simulation sim(topo, config);
+  sim.add_jobs({one_flow(0, 1, 125e6)});  // 1 s of transfer at 1 Gbps
+  sim.run();
+  ASSERT_EQ(sim.flow_results().size(), 1u);
+  EXPECT_NEAR(sim.flow_results()[0].fct_s(), 1.0 + 0.05, 1e-6);
+  EXPECT_NEAR(sim.job_results()[0].jct_s(), 1.0 + 0.05, 1e-6);
+}
+
+TEST(Propagation, CanBeDisabled) {
+  net::Topology topo = long_haul();
+  SimConfig config;
+  config.include_propagation_in_fct = false;
+  Simulation sim(topo, config);
+  sim.add_jobs({one_flow(0, 1, 125e6)});
+  sim.run();
+  EXPECT_NEAR(sim.flow_results()[0].fct_s(), 1.0, 1e-6);
+}
+
+TEST(Propagation, NegligibleOnDataCenterFabric) {
+  // Fat-tree links carry 2 us delays: the FCT is transfer-dominated,
+  // which is why the paper's Hermes benefits are "more pronounced ...
+  // where RTTs are small".
+  net::Topology topo = net::fat_tree(4);
+  SimConfig config;
+  Simulation sim(topo, config);
+  auto hosts = topo.hosts();
+  sim.add_jobs({one_flow(hosts[0], hosts[15], 5e9)});
+  sim.run();
+  double fct = sim.flow_results()[0].fct_s();
+  EXPECT_NEAR(fct, 1.0, 0.001);  // 6 hops x 2 us is invisible
+}
+
+TEST(Propagation, IspPathsAccumulateLinkDelays) {
+  net::Topology topo = net::abilene();  // ms-scale trunk delays
+  SimConfig config;
+  config.include_propagation_in_fct = false;
+  Simulation without(topo, config);
+  auto hosts = topo.hosts();
+  without.add_jobs({one_flow(hosts[0], hosts[5], 1e6)});
+  without.run();
+
+  config.include_propagation_in_fct = true;
+  Simulation with(topo, config);
+  with.add_jobs({one_flow(hosts[0], hosts[5], 1e6)});
+  with.run();
+
+  double gap = with.flow_results()[0].fct_s() -
+               without.flow_results()[0].fct_s();
+  EXPECT_GT(gap, 1e-3);  // several ms of accumulated trunk delay
+  EXPECT_LT(gap, 0.1);
+}
+
+}  // namespace
+}  // namespace hermes::sim

@@ -1,0 +1,72 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace hermes::sim {
+namespace {
+
+TEST(Percentile, EmptyIsZero) { EXPECT_EQ(percentile({}, 0.5), 0.0); }
+
+TEST(Percentile, SingleElement) {
+  EXPECT_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(percentile({7.0}, 1.0), 7.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> s{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(s, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 1.0 / 3.0), 20.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(percentile({30, 10, 20}, 0.5), 20.0);
+}
+
+TEST(Percentile, ClampedQuantiles) {
+  std::vector<double> s{1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(s, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 2.0), 3.0);
+}
+
+TEST(Summarize, EmptySummaryIsZeroes) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, ComputesMoments) {
+  Summary s = summarize({1, 2, 3, 4, 100});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 22.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_GT(s.p99, s.p95);
+  EXPECT_LE(s.p99, s.max);
+}
+
+TEST(Cdf, ProducesMonotoneRows) {
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(i);
+  auto rows = cdf(samples, 10);
+  ASSERT_EQ(rows.size(), 10u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].first, rows[i - 1].first);
+    EXPECT_GT(rows[i].second, rows[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(rows.back().second, 1.0);
+  EXPECT_DOUBLE_EQ(rows.back().first, 100.0);
+}
+
+TEST(Cdf, EmptyInput) { EXPECT_TRUE(cdf({}, 10).empty()); }
+
+TEST(FormatSummary, ContainsNameAndValues) {
+  std::string line = format_summary("fct", summarize({1, 2, 3}), "s");
+  EXPECT_NE(line.find("fct"), std::string::npos);
+  EXPECT_NE(line.find("n="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hermes::sim

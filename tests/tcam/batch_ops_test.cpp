@@ -1,0 +1,101 @@
+// Batched TCAM update operations (the migration fast path, Section 5.2).
+#include <gtest/gtest.h>
+
+#include "tcam/asic.h"
+
+namespace hermes::tcam {
+namespace {
+
+using net::Prefix;
+using net::Rule;
+
+Rule make_rule(net::RuleId id, int priority) {
+  return Rule{id, priority,
+              net::Prefix(net::Ipv4Address(0x0A000000u +
+                                           (static_cast<std::uint32_t>(id)
+                                            << 8)),
+                          24),
+              net::forward_to(1)};
+}
+
+TEST(BatchInsert, CostsOneWorstCaseInsertPlusSlotWrites) {
+  const SwitchModel& m = pica8_p3290();
+  EXPECT_EQ(m.batch_insert_latency(0, 1), m.insert_latency(0));
+  EXPECT_EQ(m.batch_insert_latency(500, 10),
+            m.insert_latency(500) + 9 * m.slot_write_latency());
+  EXPECT_EQ(m.batch_insert_latency(500, 0), 0);
+}
+
+TEST(BatchInsert, FarCheaperThanSequentialAtScale) {
+  const SwitchModel& m = pica8_p3290();
+  int occupancy = 1000;
+  int batch = 100;
+  Duration batched = m.batch_insert_latency(occupancy, batch);
+  Duration sequential = m.insert_latency(occupancy) * batch;
+  EXPECT_LT(batched, sequential / 20);
+}
+
+TEST(BatchDelete, CostsOneDeletePlusInvalidations) {
+  const SwitchModel& m = dell_8132f();
+  EXPECT_EQ(m.batch_delete_latency(1), m.delete_latency());
+  EXPECT_EQ(m.batch_delete_latency(5),
+            m.delete_latency() + 4 * m.slot_write_latency());
+  EXPECT_EQ(m.batch_delete_latency(0), 0);
+}
+
+TEST(AsicBatch, InsertsAllAndChargesOnce) {
+  Asic asic(pica8_p3290(), {1000});
+  std::vector<Rule> rules;
+  for (int i = 0; i < 50; ++i)
+    rules.push_back(make_rule(static_cast<net::RuleId>(i + 1), i % 7));
+  Asic::BatchResult result;
+  Time done = asic.submit_batch_insert(0, 0, rules, &result);
+  EXPECT_EQ(result.inserted, 50);
+  EXPECT_EQ(asic.slice(0).occupancy(), 50);
+  EXPECT_EQ(done, result.latency);
+  EXPECT_EQ(result.latency,
+            pica8_p3290().batch_insert_latency(0, 50));
+  EXPECT_TRUE(asic.slice(0).check_invariant());
+}
+
+TEST(AsicBatch, StopsAtCapacity) {
+  Asic asic(pica8_p3290(), {10});
+  std::vector<Rule> rules;
+  for (int i = 0; i < 20; ++i)
+    rules.push_back(make_rule(static_cast<net::RuleId>(i + 1), 1));
+  Asic::BatchResult result;
+  asic.submit_batch_insert(0, 0, rules, &result);
+  EXPECT_EQ(result.inserted, 10);
+  EXPECT_TRUE(asic.slice(0).full());
+}
+
+TEST(AsicBatch, DeleteRemovesListedIdsOnly) {
+  Asic asic(pica8_p3290(), {100});
+  for (int i = 0; i < 10; ++i)
+    asic.apply(0, {net::FlowModType::kInsert,
+                   make_rule(static_cast<net::RuleId>(i + 1), 1)});
+  Asic::BatchResult result;
+  Time done = asic.submit_batch_delete(from_millis(1), 0, {2, 4, 6, 99},
+                                       &result);
+  EXPECT_EQ(result.inserted, 3);  // 99 does not exist
+  EXPECT_EQ(asic.slice(0).occupancy(), 7);
+  EXPECT_FALSE(asic.slice(0).contains(4));
+  EXPECT_TRUE(asic.slice(0).contains(5));
+  EXPECT_EQ(done, from_millis(1) + result.latency);
+}
+
+TEST(AsicBatch, PerSliceChannelsAreIndependent) {
+  Asic asic(pica8_p3290(), {100, 100});
+  std::vector<Rule> rules;
+  for (int i = 0; i < 50; ++i)
+    rules.push_back(make_rule(static_cast<net::RuleId>(i + 1), 1));
+  asic.submit_batch_insert(0, 1, rules);  // occupies slice 1's channel
+  // Slice 0 is idle: an insert there completes at base latency.
+  Time done =
+      asic.submit(0, 0, {net::FlowModType::kInsert, make_rule(500, 1)});
+  EXPECT_EQ(done, pica8_p3290().base_latency());
+  EXPECT_GT(asic.busy_until(1), asic.busy_until(0));
+}
+
+}  // namespace
+}  // namespace hermes::tcam

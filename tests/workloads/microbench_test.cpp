@@ -1,0 +1,156 @@
+#include "workloads/microbench.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hermes::workloads {
+namespace {
+
+TEST(MicroBench, GeneratesRequestedCount) {
+  MicroBenchConfig config;
+  config.count = 250;
+  auto trace = microbench_trace(config);
+  EXPECT_EQ(trace.size(), 250u);
+  for (const RuleEvent& e : trace)
+    EXPECT_EQ(e.mod.type, net::FlowModType::kInsert);
+}
+
+TEST(MicroBench, DeterministicInSeed) {
+  MicroBenchConfig config;
+  config.count = 100;
+  config.seed = 42;
+  auto a = microbench_trace(config);
+  auto b = microbench_trace(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].mod.rule, b[i].mod.rule);
+  }
+  config.seed = 43;
+  auto c = microbench_trace(config);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i)
+    differs = !(a[i].mod.rule == c[i].mod.rule) || a[i].time != c[i].time;
+  EXPECT_TRUE(differs);
+}
+
+TEST(MicroBench, TimesAreNonDecreasingAndMatchRate) {
+  MicroBenchConfig config;
+  config.count = 2000;
+  config.rate = 1000;
+  auto trace = microbench_trace(config);
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_GE(trace[i].time, trace[i - 1].time);
+  // Empirical rate within 15% of nominal.
+  double span_s = to_seconds(trace.back().time);
+  double rate = static_cast<double>(trace.size() - 1) / span_s;
+  EXPECT_NEAR(rate, 1000, 150);
+}
+
+TEST(MicroBench, FixedArrivalsAreUniform) {
+  MicroBenchConfig config;
+  config.count = 10;
+  config.rate = 100;
+  config.poisson_arrivals = false;
+  auto trace = microbench_trace(config);
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_EQ(trace[i].time - trace[i - 1].time, from_millis(10));
+}
+
+TEST(MicroBench, ZeroOverlapRateIsAllDisjoint) {
+  MicroBenchConfig config;
+  config.count = 300;
+  config.overlap_rate = 0.0;
+  auto trace = microbench_trace(config);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    for (std::size_t j = i + 1; j < trace.size(); ++j)
+      ASSERT_FALSE(trace[i].mod.rule.match.overlaps(trace[j].mod.rule.match))
+          << i << "," << j;
+}
+
+namespace {
+
+// Fraction of rules that overlap at least one OTHER rule in the trace.
+double overlap_fraction(const RuleTrace& trace) {
+  int overlapping = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    for (std::size_t j = 0; j < trace.size(); ++j) {
+      if (i == j) continue;
+      if (trace[i].mod.rule.match.overlaps(trace[j].mod.rule.match)) {
+        ++overlapping;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(overlapping) /
+         static_cast<double>(trace.size());
+}
+
+}  // namespace
+
+TEST(MicroBench, FullOverlapRateIsOverlapHeavy) {
+  MicroBenchConfig config;
+  config.count = 500;
+  config.overlap_rate = 1.0;
+  auto trace = microbench_trace(config);
+  // Half the rules are wide (always covering earlier narrows); the dense
+  // region puts most narrows under some wide as the stream grows.
+  EXPECT_GT(overlap_fraction(trace), 0.75);
+  // Wide rules are cut candidates: they must carry LOWER priorities than
+  // the narrow obstacles (the Figure 5 (b)/(c) setup).
+  for (const RuleEvent& e : trace) {
+    if (e.mod.rule.match.length() < 24)
+      EXPECT_LE(e.mod.rule.priority, 32);
+    else
+      EXPECT_GT(e.mod.rule.priority, 32);
+  }
+}
+
+TEST(MicroBench, OverlapFractionGrowsWithOverlapRate) {
+  MicroBenchConfig config;
+  config.count = 500;
+  config.overlap_rate = 0.4;
+  double at40 = overlap_fraction(microbench_trace(config));
+  config.overlap_rate = 1.0;
+  double at100 = overlap_fraction(microbench_trace(config));
+  EXPECT_GT(at40, 0.15);
+  EXPECT_LT(at40, at100);
+}
+
+TEST(MicroBench, PriorityPatterns) {
+  MicroBenchConfig config;
+  config.count = 50;
+  config.priorities = PriorityPattern::kConstant;
+  for (const RuleEvent& e : microbench_trace(config))
+    EXPECT_EQ(e.mod.rule.priority, 1);
+
+  config.priorities = PriorityPattern::kAscending;
+  auto asc = microbench_trace(config);
+  for (std::size_t i = 1; i < asc.size(); ++i)
+    EXPECT_GT(asc[i].mod.rule.priority, asc[i - 1].mod.rule.priority);
+
+  config.priorities = PriorityPattern::kDescending;
+  auto desc = microbench_trace(config);
+  for (std::size_t i = 1; i < desc.size(); ++i)
+    EXPECT_LT(desc[i].mod.rule.priority, desc[i - 1].mod.rule.priority);
+
+  config.priorities = PriorityPattern::kRandom;
+  config.priority_levels = 8;
+  for (const RuleEvent& e : microbench_trace(config)) {
+    EXPECT_GE(e.mod.rule.priority, 1);
+    EXPECT_LE(e.mod.rule.priority, 8);
+  }
+}
+
+TEST(MicroBench, IdsAreSequentialFromFirstId) {
+  MicroBenchConfig config;
+  config.count = 20;
+  config.first_id = 1000;
+  auto trace = microbench_trace(config);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    EXPECT_EQ(trace[i].mod.rule.id, 1000 + i);
+}
+
+}  // namespace
+}  // namespace hermes::workloads

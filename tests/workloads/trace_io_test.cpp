@@ -1,0 +1,114 @@
+#include "workloads/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/bgp.h"
+#include "workloads/microbench.h"
+
+namespace hermes::workloads {
+namespace {
+
+using net::Prefix;
+using net::Rule;
+
+RuleEvent sample_event() {
+  return RuleEvent{from_millis(5),
+                   {net::FlowModType::kInsert,
+                    Rule{42, 7, *Prefix::parse("10.1.0.0/16"),
+                         net::forward_to(3)}}};
+}
+
+TEST(TraceIo, FormatIsStable) {
+  EXPECT_EQ(format_event(sample_event()),
+            "5000000 insert 42 7 10.1.0.0/16 fwd:3");
+}
+
+TEST(TraceIo, ParseRoundTripsAllVerbsAndActions) {
+  RuleEvent event = sample_event();
+  for (auto type : {net::FlowModType::kInsert, net::FlowModType::kDelete,
+                    net::FlowModType::kModify}) {
+    event.mod.type = type;
+    for (net::Action action :
+         {net::forward_to(9), net::Action{net::ActionType::kDrop, -1},
+          net::Action{net::ActionType::kToController, -1},
+          net::Action{net::ActionType::kGotoNextTable, -1}}) {
+      event.mod.rule.action = action;
+      auto parsed = parse_event(format_event(event));
+      ASSERT_TRUE(parsed.has_value());
+      EXPECT_EQ(parsed->time, event.time);
+      EXPECT_EQ(parsed->mod.type, event.mod.type);
+      EXPECT_EQ(parsed->mod.rule, event.mod.rule);
+    }
+  }
+}
+
+TEST(TraceIo, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_event("").has_value());
+  EXPECT_FALSE(parse_event("1 insert 42 7 10.1.0.0/16").has_value());
+  EXPECT_FALSE(parse_event("x insert 42 7 10.1.0.0/16 fwd:3").has_value());
+  EXPECT_FALSE(parse_event("1 upsert 42 7 10.1.0.0/16 fwd:3").has_value());
+  EXPECT_FALSE(parse_event("1 insert 42 7 10.1.0.0/99 fwd:3").has_value());
+  EXPECT_FALSE(parse_event("1 insert 42 7 10.1.0.0/16 fwd:x").has_value());
+  EXPECT_FALSE(parse_event("1 insert 42 7 10.1.0.0/16 teleport").has_value());
+  EXPECT_FALSE(parse_event("-1 insert 42 7 10.1.0.0/16 fwd:3").has_value());
+}
+
+TEST(TraceIo, StreamRoundTripPreservesTrace) {
+  MicroBenchConfig mb;
+  mb.count = 200;
+  mb.overlap_rate = 0.5;
+  auto trace = microbench_trace(mb);
+
+  std::stringstream buffer;
+  write_trace(buffer, trace);
+  std::string error;
+  auto loaded = read_trace(buffer, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].time, trace[i].time);
+    EXPECT_EQ((*loaded)[i].mod.type, trace[i].mod.type);
+    EXPECT_EQ((*loaded)[i].mod.rule, trace[i].mod.rule);
+  }
+}
+
+TEST(TraceIo, BgpFibTraceRoundTrips) {
+  // Includes deletes and modifies, unlike the microbench stream.
+  BgpFeedConfig config;
+  config.duration_s = 5;
+  config.prefix_count = 200;
+  auto trace = fib_trace(bgp_feed(config));
+  std::stringstream buffer;
+  write_trace(buffer, trace);
+  auto loaded = read_trace(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), trace.size());
+}
+
+TEST(TraceIo, ReadReportsLineNumbers) {
+  std::stringstream buffer;
+  buffer << "# comment\n\n1 insert 1 1 10.0.0.0/8 drop\nBROKEN LINE\n";
+  std::string error;
+  auto loaded = read_trace(buffer, &error);
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_NE(error.find("line 4"), std::string::npos) << error;
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  MicroBenchConfig mb;
+  mb.count = 50;
+  auto trace = microbench_trace(mb);
+  std::string path = ::testing::TempDir() + "/hermes_trace_test.txt";
+  ASSERT_TRUE(save_trace(path, trace));
+  auto loaded = load_trace(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), trace.size());
+  std::string error;
+  EXPECT_FALSE(load_trace("/nonexistent/dir/trace.txt", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace hermes::workloads

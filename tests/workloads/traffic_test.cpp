@@ -1,0 +1,167 @@
+// Tests for the Facebook MapReduce and tomo-gravity generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "workloads/facebook.h"
+#include "workloads/gravity.h"
+
+namespace hermes::workloads {
+namespace {
+
+std::vector<net::NodeId> fake_hosts(int n) {
+  std::vector<net::NodeId> hosts(static_cast<std::size_t>(n));
+  std::iota(hosts.begin(), hosts.end(), 100);
+  return hosts;
+}
+
+TEST(Facebook, GeneratesRequestedJobs) {
+  FacebookConfig config;
+  config.job_count = 200;
+  auto jobs = facebook_jobs(config, fake_hosts(64));
+  ASSERT_EQ(jobs.size(), 200u);
+  for (const Job& j : jobs) {
+    EXPECT_FALSE(j.flows.empty());
+    for (const FlowSpec& f : j.flows) {
+      EXPECT_NE(f.src, f.dst);
+      EXPECT_GT(f.bytes, 0);
+      EXPECT_GE(f.src, 100);
+      EXPECT_LT(f.src, 164);
+    }
+  }
+}
+
+TEST(Facebook, ArrivalsAreOrderedWithinWindow) {
+  FacebookConfig config;
+  config.job_count = 100;
+  config.duration_s = 30;
+  auto jobs = facebook_jobs(config, fake_hosts(16));
+  for (std::size_t i = 1; i < jobs.size(); ++i)
+    EXPECT_GE(jobs[i].arrival, jobs[i - 1].arrival);
+}
+
+TEST(Facebook, DeterministicInSeed) {
+  FacebookConfig config;
+  config.job_count = 50;
+  config.seed = 5;
+  auto a = facebook_jobs(config, fake_hosts(16));
+  auto b = facebook_jobs(config, fake_hosts(16));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].flows.size(), b[i].flows.size());
+  }
+}
+
+TEST(Facebook, ShortJobsDominateInCountLongInBytes) {
+  // The Figure 1 premise: most jobs are short (<1 GB) but the byte volume
+  // lives in the long tail.
+  FacebookConfig config;
+  config.job_count = 2000;
+  config.seed = 11;
+  auto jobs = facebook_jobs(config, fake_hosts(128));
+  int short_count = 0;
+  double short_bytes = 0, total_bytes = 0;
+  for (const Job& j : jobs) {
+    double bytes = j.total_bytes();
+    total_bytes += bytes;
+    if (j.is_short()) {
+      ++short_count;
+      short_bytes += bytes;
+    }
+  }
+  EXPECT_GT(short_count, 2000 / 2);                 // majority short
+  EXPECT_LT(short_bytes, 0.5 * total_bytes);        // bytes in long jobs
+}
+
+TEST(Facebook, WidthsAreHeavyTailed) {
+  FacebookConfig config;
+  config.job_count = 2000;
+  config.seed = 13;
+  auto jobs = facebook_jobs(config, fake_hosts(128));
+  std::vector<std::size_t> widths;
+  for (const Job& j : jobs) widths.push_back(j.flows.size());
+  std::sort(widths.begin(), widths.end());
+  EXPECT_LE(widths.front(), 3u);
+  EXPECT_GT(widths.back(), 20 * widths[widths.size() / 2]);
+}
+
+TEST(Gravity, MatrixShapeAndNormalization) {
+  net::Topology topo = net::abilene();
+  GravityConfig config;
+  config.total_traffic_bps = 8e9;
+  auto tm = gravity_matrix(topo, config);
+  std::size_t n = topo.hosts().size();
+  ASSERT_EQ(tm.size(), n);
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(tm[i].size(), n);
+    EXPECT_EQ(tm[i][i], 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_GE(tm[i][j], 0.0);
+      total += tm[i][j];
+    }
+  }
+  EXPECT_NEAR(total, 1e9, 1e-3);  // bps -> bytes/s
+}
+
+TEST(Gravity, MatrixIsGravityShaped) {
+  // demand_ij * demand_ji ~ (m_i m_j)^2: the ratio demand_ij / demand_kj
+  // must be independent of j (up to floating error) — the defining
+  // property of a gravity matrix.
+  net::Topology topo = net::geant();
+  auto tm = gravity_matrix(topo, GravityConfig{});
+  std::size_t n = tm.size();
+  for (std::size_t j = 2; j < std::min<std::size_t>(n, 6); ++j) {
+    double r0 = tm[0][j] / tm[1][j];
+    double r1 = tm[0][2 == j ? 3 : 2] / tm[1][2 == j ? 3 : 2];
+    EXPECT_NEAR(r0, r1, 1e-9 * std::max(r0, r1) + 1e-12);
+  }
+}
+
+TEST(Gravity, FlowsMatchMatrixLoad) {
+  net::Topology topo = net::abilene();
+  GravityConfig config;
+  config.total_traffic_bps = 2e9;
+  config.duration_s = 30;
+  config.mean_flow_bytes = 1e6;
+  auto flows = gravity_flows(topo, config);
+  ASSERT_FALSE(flows.empty());
+  double bytes = 0;
+  for (const FlowArrival& f : flows) {
+    EXPECT_GE(f.time, 0);
+    EXPECT_LE(to_seconds(f.time), 30.0);
+    EXPECT_NE(f.flow.src, f.flow.dst);
+    bytes += f.flow.bytes;
+  }
+  double expected = 2e9 / 8 * 30;
+  EXPECT_NEAR(bytes, expected, expected * 0.15);
+  for (std::size_t i = 1; i < flows.size(); ++i)
+    EXPECT_GE(flows[i].time, flows[i - 1].time);
+}
+
+TEST(Gravity, DeterministicInSeed) {
+  net::Topology topo = net::quest();
+  GravityConfig config;
+  config.duration_s = 5;
+  auto a = gravity_flows(topo, config);
+  auto b = gravity_flows(topo, config);
+  ASSERT_EQ(a.size(), b.size());
+  config.seed = 2;
+  auto c = gravity_flows(topo, config);
+  EXPECT_NE(a.size(), c.size());
+}
+
+TEST(JobHelpers, ShortLongSplit) {
+  Job j;
+  j.flows = {FlowSpec{0, 1, 5e8}, FlowSpec{1, 2, 4e8}};
+  EXPECT_TRUE(j.is_short());
+  EXPECT_NEAR(j.total_bytes(), 9e8, 1);
+  j.flows.push_back(FlowSpec{2, 3, 2e8});
+  EXPECT_FALSE(j.is_short());
+}
+
+}  // namespace
+}  // namespace hermes::workloads

@@ -1,0 +1,75 @@
+// hermes_tracegen: generate a control-plane trace file.
+//
+//   hermes_tracegen microbench <out.trace> [count] [rate] [overlap] [seed]
+//   hermes_tracegen bgp        <out.trace> [router] [seconds] [seed]
+//
+// routers: equinix | telxatl | nwax | routeviews
+// The output is the text format of workloads/trace_io.h, replayable with
+// hermes_replay.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "workloads/bgp.h"
+#include "workloads/microbench.h"
+#include "workloads/trace_io.h"
+
+using namespace hermes;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  hermes_tracegen microbench <out.trace> [count=2000] [rate=1000]\n"
+      "                  [overlap=0.5] [seed=1]\n"
+      "  hermes_tracegen bgp <out.trace> [router=equinix] [seconds=30]\n"
+      "                  [seed=0 (preset)]\n"
+      "routers: equinix | telxatl | nwax | routeviews\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string kind = argv[1];
+  std::string path = argv[2];
+
+  workloads::RuleTrace trace;
+  if (kind == "microbench") {
+    workloads::MicroBenchConfig config;
+    if (argc > 3) config.count = std::atoi(argv[3]);
+    if (argc > 4) config.rate = std::atof(argv[4]);
+    if (argc > 5) config.overlap_rate = std::atof(argv[5]);
+    if (argc > 6) config.seed = std::strtoull(argv[6], nullptr, 10);
+    trace = workloads::microbench_trace(config);
+  } else if (kind == "bgp") {
+    std::string router = argc > 3 ? argv[3] : "equinix";
+    workloads::BgpFeedConfig config;
+    if (router == "equinix")
+      config = workloads::equinix_chicago();
+    else if (router == "telxatl")
+      config = workloads::telxatl_atlanta();
+    else if (router == "nwax")
+      config = workloads::nwax_portland();
+    else if (router == "routeviews")
+      config = workloads::route_views_oregon();
+    else
+      return usage();
+    if (argc > 4) config.duration_s = std::atof(argv[4]);
+    if (argc > 5 && std::strtoull(argv[5], nullptr, 10) != 0)
+      config.seed = std::strtoull(argv[5], nullptr, 10);
+    trace = workloads::fib_trace(workloads::bgp_feed(config));
+  } else {
+    return usage();
+  }
+
+  if (!workloads::save_trace(path, trace)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu events to %s\n", trace.size(), path.c_str());
+  return 0;
+}
