@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bgp.dir/bench_bgp.cpp.o"
+  "CMakeFiles/bench_bgp.dir/bench_bgp.cpp.o.d"
+  "bench_bgp"
+  "bench_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_rit.dir/bench_fig08_rit.cpp.o"
+  "CMakeFiles/bench_fig08_rit.dir/bench_fig08_rit.cpp.o.d"
+  "bench_fig08_rit"
+  "bench_fig08_rit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_rit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_timeseries.cpp" "bench/CMakeFiles/bench_fig11_timeseries.dir/bench_fig11_timeseries.cpp.o" "gcc" "bench/CMakeFiles/bench_fig11_timeseries.dir/bench_fig11_timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hermes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hermes_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hermes_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/hermes/CMakeFiles/hermes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/hermes_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hermes_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_slack.dir/bench_fig13_slack.cpp.o"
+  "CMakeFiles/bench_fig13_slack.dir/bench_fig13_slack.cpp.o.d"
+  "bench_fig13_slack"
+  "bench_fig13_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sens_predictors.dir/bench_sens_predictors.cpp.o"
+  "CMakeFiles/bench_sens_predictors.dir/bench_sens_predictors.cpp.o.d"
+  "bench_sens_predictors"
+  "bench_sens_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acl_firewall.dir/acl_firewall.cpp.o"
+  "CMakeFiles/acl_firewall.dir/acl_firewall.cpp.o.d"
+  "acl_firewall"
+  "acl_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acl_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_router.dir/bgp_router.cpp.o"
+  "CMakeFiles/bgp_router.dir/bgp_router.cpp.o.d"
+  "bgp_router"
+  "bgp_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

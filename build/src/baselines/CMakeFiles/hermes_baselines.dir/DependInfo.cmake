@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/espres.cpp" "src/baselines/CMakeFiles/hermes_baselines.dir/espres.cpp.o" "gcc" "src/baselines/CMakeFiles/hermes_baselines.dir/espres.cpp.o.d"
+  "/root/repo/src/baselines/hermes_backend.cpp" "src/baselines/CMakeFiles/hermes_baselines.dir/hermes_backend.cpp.o" "gcc" "src/baselines/CMakeFiles/hermes_baselines.dir/hermes_backend.cpp.o.d"
+  "/root/repo/src/baselines/plain_switch.cpp" "src/baselines/CMakeFiles/hermes_baselines.dir/plain_switch.cpp.o" "gcc" "src/baselines/CMakeFiles/hermes_baselines.dir/plain_switch.cpp.o.d"
+  "/root/repo/src/baselines/shadow_switch.cpp" "src/baselines/CMakeFiles/hermes_baselines.dir/shadow_switch.cpp.o" "gcc" "src/baselines/CMakeFiles/hermes_baselines.dir/shadow_switch.cpp.o.d"
+  "/root/repo/src/baselines/tango.cpp" "src/baselines/CMakeFiles/hermes_baselines.dir/tango.cpp.o" "gcc" "src/baselines/CMakeFiles/hermes_baselines.dir/tango.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hermes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/hermes_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/hermes/CMakeFiles/hermes_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_baselines.dir/espres.cpp.o"
+  "CMakeFiles/hermes_baselines.dir/espres.cpp.o.d"
+  "CMakeFiles/hermes_baselines.dir/hermes_backend.cpp.o"
+  "CMakeFiles/hermes_baselines.dir/hermes_backend.cpp.o.d"
+  "CMakeFiles/hermes_baselines.dir/plain_switch.cpp.o"
+  "CMakeFiles/hermes_baselines.dir/plain_switch.cpp.o.d"
+  "CMakeFiles/hermes_baselines.dir/shadow_switch.cpp.o"
+  "CMakeFiles/hermes_baselines.dir/shadow_switch.cpp.o.d"
+  "CMakeFiles/hermes_baselines.dir/tango.cpp.o"
+  "CMakeFiles/hermes_baselines.dir/tango.cpp.o.d"
+  "libhermes_baselines.a"
+  "libhermes_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

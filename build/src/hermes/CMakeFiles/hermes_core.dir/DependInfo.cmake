@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hermes/acl_hermes.cpp" "src/hermes/CMakeFiles/hermes_core.dir/acl_hermes.cpp.o" "gcc" "src/hermes/CMakeFiles/hermes_core.dir/acl_hermes.cpp.o.d"
+  "/root/repo/src/hermes/gate_keeper.cpp" "src/hermes/CMakeFiles/hermes_core.dir/gate_keeper.cpp.o" "gcc" "src/hermes/CMakeFiles/hermes_core.dir/gate_keeper.cpp.o.d"
+  "/root/repo/src/hermes/hermes_agent.cpp" "src/hermes/CMakeFiles/hermes_core.dir/hermes_agent.cpp.o" "gcc" "src/hermes/CMakeFiles/hermes_core.dir/hermes_agent.cpp.o.d"
+  "/root/repo/src/hermes/incremental_update.cpp" "src/hermes/CMakeFiles/hermes_core.dir/incremental_update.cpp.o" "gcc" "src/hermes/CMakeFiles/hermes_core.dir/incremental_update.cpp.o.d"
+  "/root/repo/src/hermes/overlap_index.cpp" "src/hermes/CMakeFiles/hermes_core.dir/overlap_index.cpp.o" "gcc" "src/hermes/CMakeFiles/hermes_core.dir/overlap_index.cpp.o.d"
+  "/root/repo/src/hermes/partition.cpp" "src/hermes/CMakeFiles/hermes_core.dir/partition.cpp.o" "gcc" "src/hermes/CMakeFiles/hermes_core.dir/partition.cpp.o.d"
+  "/root/repo/src/hermes/pipeline.cpp" "src/hermes/CMakeFiles/hermes_core.dir/pipeline.cpp.o" "gcc" "src/hermes/CMakeFiles/hermes_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/hermes/predictor.cpp" "src/hermes/CMakeFiles/hermes_core.dir/predictor.cpp.o" "gcc" "src/hermes/CMakeFiles/hermes_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/hermes/qos_api.cpp" "src/hermes/CMakeFiles/hermes_core.dir/qos_api.cpp.o" "gcc" "src/hermes/CMakeFiles/hermes_core.dir/qos_api.cpp.o.d"
+  "/root/repo/src/hermes/rule_manager.cpp" "src/hermes/CMakeFiles/hermes_core.dir/rule_manager.cpp.o" "gcc" "src/hermes/CMakeFiles/hermes_core.dir/rule_manager.cpp.o.d"
+  "/root/repo/src/hermes/rule_store.cpp" "src/hermes/CMakeFiles/hermes_core.dir/rule_store.cpp.o" "gcc" "src/hermes/CMakeFiles/hermes_core.dir/rule_store.cpp.o.d"
+  "/root/repo/src/hermes/ternary_partition.cpp" "src/hermes/CMakeFiles/hermes_core.dir/ternary_partition.cpp.o" "gcc" "src/hermes/CMakeFiles/hermes_core.dir/ternary_partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hermes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/hermes_tcam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_core.dir/acl_hermes.cpp.o"
+  "CMakeFiles/hermes_core.dir/acl_hermes.cpp.o.d"
+  "CMakeFiles/hermes_core.dir/gate_keeper.cpp.o"
+  "CMakeFiles/hermes_core.dir/gate_keeper.cpp.o.d"
+  "CMakeFiles/hermes_core.dir/hermes_agent.cpp.o"
+  "CMakeFiles/hermes_core.dir/hermes_agent.cpp.o.d"
+  "CMakeFiles/hermes_core.dir/incremental_update.cpp.o"
+  "CMakeFiles/hermes_core.dir/incremental_update.cpp.o.d"
+  "CMakeFiles/hermes_core.dir/overlap_index.cpp.o"
+  "CMakeFiles/hermes_core.dir/overlap_index.cpp.o.d"
+  "CMakeFiles/hermes_core.dir/partition.cpp.o"
+  "CMakeFiles/hermes_core.dir/partition.cpp.o.d"
+  "CMakeFiles/hermes_core.dir/pipeline.cpp.o"
+  "CMakeFiles/hermes_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hermes_core.dir/predictor.cpp.o"
+  "CMakeFiles/hermes_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/hermes_core.dir/qos_api.cpp.o"
+  "CMakeFiles/hermes_core.dir/qos_api.cpp.o.d"
+  "CMakeFiles/hermes_core.dir/rule_manager.cpp.o"
+  "CMakeFiles/hermes_core.dir/rule_manager.cpp.o.d"
+  "CMakeFiles/hermes_core.dir/rule_store.cpp.o"
+  "CMakeFiles/hermes_core.dir/rule_store.cpp.o.d"
+  "CMakeFiles/hermes_core.dir/ternary_partition.cpp.o"
+  "CMakeFiles/hermes_core.dir/ternary_partition.cpp.o.d"
+  "libhermes_core.a"
+  "libhermes_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

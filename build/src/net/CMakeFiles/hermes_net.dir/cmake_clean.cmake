@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_net.dir/ipv4.cpp.o"
+  "CMakeFiles/hermes_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/hermes_net.dir/routing.cpp.o"
+  "CMakeFiles/hermes_net.dir/routing.cpp.o.d"
+  "CMakeFiles/hermes_net.dir/rule.cpp.o"
+  "CMakeFiles/hermes_net.dir/rule.cpp.o.d"
+  "CMakeFiles/hermes_net.dir/ternary.cpp.o"
+  "CMakeFiles/hermes_net.dir/ternary.cpp.o.d"
+  "CMakeFiles/hermes_net.dir/topology.cpp.o"
+  "CMakeFiles/hermes_net.dir/topology.cpp.o.d"
+  "libhermes_net.a"
+  "libhermes_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

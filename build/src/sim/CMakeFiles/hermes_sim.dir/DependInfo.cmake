@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fluid_network.cpp" "src/sim/CMakeFiles/hermes_sim.dir/fluid_network.cpp.o" "gcc" "src/sim/CMakeFiles/hermes_sim.dir/fluid_network.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/hermes_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/hermes_sim.dir/simulation.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/hermes_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/hermes_sim.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hermes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hermes_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hermes_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/hermes/CMakeFiles/hermes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/hermes_tcam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

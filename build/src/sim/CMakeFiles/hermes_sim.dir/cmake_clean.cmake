@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_sim.dir/fluid_network.cpp.o"
+  "CMakeFiles/hermes_sim.dir/fluid_network.cpp.o.d"
+  "CMakeFiles/hermes_sim.dir/simulation.cpp.o"
+  "CMakeFiles/hermes_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/hermes_sim.dir/stats.cpp.o"
+  "CMakeFiles/hermes_sim.dir/stats.cpp.o.d"
+  "libhermes_sim.a"
+  "libhermes_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcam/asic.cpp" "src/tcam/CMakeFiles/hermes_tcam.dir/asic.cpp.o" "gcc" "src/tcam/CMakeFiles/hermes_tcam.dir/asic.cpp.o.d"
+  "/root/repo/src/tcam/switch_model.cpp" "src/tcam/CMakeFiles/hermes_tcam.dir/switch_model.cpp.o" "gcc" "src/tcam/CMakeFiles/hermes_tcam.dir/switch_model.cpp.o.d"
+  "/root/repo/src/tcam/tcam_table.cpp" "src/tcam/CMakeFiles/hermes_tcam.dir/tcam_table.cpp.o" "gcc" "src/tcam/CMakeFiles/hermes_tcam.dir/tcam_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hermes_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

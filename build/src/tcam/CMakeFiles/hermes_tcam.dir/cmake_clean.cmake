@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_tcam.dir/asic.cpp.o"
+  "CMakeFiles/hermes_tcam.dir/asic.cpp.o.d"
+  "CMakeFiles/hermes_tcam.dir/switch_model.cpp.o"
+  "CMakeFiles/hermes_tcam.dir/switch_model.cpp.o.d"
+  "CMakeFiles/hermes_tcam.dir/tcam_table.cpp.o"
+  "CMakeFiles/hermes_tcam.dir/tcam_table.cpp.o.d"
+  "libhermes_tcam.a"
+  "libhermes_tcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bgp.cpp" "src/workloads/CMakeFiles/hermes_workloads.dir/bgp.cpp.o" "gcc" "src/workloads/CMakeFiles/hermes_workloads.dir/bgp.cpp.o.d"
+  "/root/repo/src/workloads/facebook.cpp" "src/workloads/CMakeFiles/hermes_workloads.dir/facebook.cpp.o" "gcc" "src/workloads/CMakeFiles/hermes_workloads.dir/facebook.cpp.o.d"
+  "/root/repo/src/workloads/gravity.cpp" "src/workloads/CMakeFiles/hermes_workloads.dir/gravity.cpp.o" "gcc" "src/workloads/CMakeFiles/hermes_workloads.dir/gravity.cpp.o.d"
+  "/root/repo/src/workloads/microbench.cpp" "src/workloads/CMakeFiles/hermes_workloads.dir/microbench.cpp.o" "gcc" "src/workloads/CMakeFiles/hermes_workloads.dir/microbench.cpp.o.d"
+  "/root/repo/src/workloads/trace_io.cpp" "src/workloads/CMakeFiles/hermes_workloads.dir/trace_io.cpp.o" "gcc" "src/workloads/CMakeFiles/hermes_workloads.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hermes_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

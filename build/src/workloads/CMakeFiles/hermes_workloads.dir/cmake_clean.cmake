@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_workloads.dir/bgp.cpp.o"
+  "CMakeFiles/hermes_workloads.dir/bgp.cpp.o.d"
+  "CMakeFiles/hermes_workloads.dir/facebook.cpp.o"
+  "CMakeFiles/hermes_workloads.dir/facebook.cpp.o.d"
+  "CMakeFiles/hermes_workloads.dir/gravity.cpp.o"
+  "CMakeFiles/hermes_workloads.dir/gravity.cpp.o.d"
+  "CMakeFiles/hermes_workloads.dir/microbench.cpp.o"
+  "CMakeFiles/hermes_workloads.dir/microbench.cpp.o.d"
+  "CMakeFiles/hermes_workloads.dir/trace_io.cpp.o"
+  "CMakeFiles/hermes_workloads.dir/trace_io.cpp.o.d"
+  "libhermes_workloads.a"
+  "libhermes_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

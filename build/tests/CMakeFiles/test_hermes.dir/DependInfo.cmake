@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hermes/acl_hermes_test.cpp" "tests/CMakeFiles/test_hermes.dir/hermes/acl_hermes_test.cpp.o" "gcc" "tests/CMakeFiles/test_hermes.dir/hermes/acl_hermes_test.cpp.o.d"
+  "/root/repo/tests/hermes/agent_edge_cases_test.cpp" "tests/CMakeFiles/test_hermes.dir/hermes/agent_edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/test_hermes.dir/hermes/agent_edge_cases_test.cpp.o.d"
+  "/root/repo/tests/hermes/gate_keeper_test.cpp" "tests/CMakeFiles/test_hermes.dir/hermes/gate_keeper_test.cpp.o" "gcc" "tests/CMakeFiles/test_hermes.dir/hermes/gate_keeper_test.cpp.o.d"
+  "/root/repo/tests/hermes/hermes_agent_test.cpp" "tests/CMakeFiles/test_hermes.dir/hermes/hermes_agent_test.cpp.o" "gcc" "tests/CMakeFiles/test_hermes.dir/hermes/hermes_agent_test.cpp.o.d"
+  "/root/repo/tests/hermes/incremental_update_test.cpp" "tests/CMakeFiles/test_hermes.dir/hermes/incremental_update_test.cpp.o" "gcc" "tests/CMakeFiles/test_hermes.dir/hermes/incremental_update_test.cpp.o.d"
+  "/root/repo/tests/hermes/overlap_index_test.cpp" "tests/CMakeFiles/test_hermes.dir/hermes/overlap_index_test.cpp.o" "gcc" "tests/CMakeFiles/test_hermes.dir/hermes/overlap_index_test.cpp.o.d"
+  "/root/repo/tests/hermes/partition_test.cpp" "tests/CMakeFiles/test_hermes.dir/hermes/partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_hermes.dir/hermes/partition_test.cpp.o.d"
+  "/root/repo/tests/hermes/pipeline_test.cpp" "tests/CMakeFiles/test_hermes.dir/hermes/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_hermes.dir/hermes/pipeline_test.cpp.o.d"
+  "/root/repo/tests/hermes/predictor_test.cpp" "tests/CMakeFiles/test_hermes.dir/hermes/predictor_test.cpp.o" "gcc" "tests/CMakeFiles/test_hermes.dir/hermes/predictor_test.cpp.o.d"
+  "/root/repo/tests/hermes/qos_api_test.cpp" "tests/CMakeFiles/test_hermes.dir/hermes/qos_api_test.cpp.o" "gcc" "tests/CMakeFiles/test_hermes.dir/hermes/qos_api_test.cpp.o.d"
+  "/root/repo/tests/hermes/rule_store_test.cpp" "tests/CMakeFiles/test_hermes.dir/hermes/rule_store_test.cpp.o" "gcc" "tests/CMakeFiles/test_hermes.dir/hermes/rule_store_test.cpp.o.d"
+  "/root/repo/tests/hermes/ternary_partition_test.cpp" "tests/CMakeFiles/test_hermes.dir/hermes/ternary_partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_hermes.dir/hermes/ternary_partition_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hermes/CMakeFiles/hermes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/hermes_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hermes_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

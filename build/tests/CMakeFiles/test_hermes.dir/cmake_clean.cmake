@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hermes.dir/hermes/acl_hermes_test.cpp.o"
+  "CMakeFiles/test_hermes.dir/hermes/acl_hermes_test.cpp.o.d"
+  "CMakeFiles/test_hermes.dir/hermes/agent_edge_cases_test.cpp.o"
+  "CMakeFiles/test_hermes.dir/hermes/agent_edge_cases_test.cpp.o.d"
+  "CMakeFiles/test_hermes.dir/hermes/gate_keeper_test.cpp.o"
+  "CMakeFiles/test_hermes.dir/hermes/gate_keeper_test.cpp.o.d"
+  "CMakeFiles/test_hermes.dir/hermes/hermes_agent_test.cpp.o"
+  "CMakeFiles/test_hermes.dir/hermes/hermes_agent_test.cpp.o.d"
+  "CMakeFiles/test_hermes.dir/hermes/incremental_update_test.cpp.o"
+  "CMakeFiles/test_hermes.dir/hermes/incremental_update_test.cpp.o.d"
+  "CMakeFiles/test_hermes.dir/hermes/overlap_index_test.cpp.o"
+  "CMakeFiles/test_hermes.dir/hermes/overlap_index_test.cpp.o.d"
+  "CMakeFiles/test_hermes.dir/hermes/partition_test.cpp.o"
+  "CMakeFiles/test_hermes.dir/hermes/partition_test.cpp.o.d"
+  "CMakeFiles/test_hermes.dir/hermes/pipeline_test.cpp.o"
+  "CMakeFiles/test_hermes.dir/hermes/pipeline_test.cpp.o.d"
+  "CMakeFiles/test_hermes.dir/hermes/predictor_test.cpp.o"
+  "CMakeFiles/test_hermes.dir/hermes/predictor_test.cpp.o.d"
+  "CMakeFiles/test_hermes.dir/hermes/qos_api_test.cpp.o"
+  "CMakeFiles/test_hermes.dir/hermes/qos_api_test.cpp.o.d"
+  "CMakeFiles/test_hermes.dir/hermes/rule_store_test.cpp.o"
+  "CMakeFiles/test_hermes.dir/hermes/rule_store_test.cpp.o.d"
+  "CMakeFiles/test_hermes.dir/hermes/ternary_partition_test.cpp.o"
+  "CMakeFiles/test_hermes.dir/hermes/ternary_partition_test.cpp.o.d"
+  "test_hermes"
+  "test_hermes.pdb"
+  "test_hermes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hermes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

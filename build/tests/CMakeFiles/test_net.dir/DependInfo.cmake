@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/ipv4_test.cpp" "tests/CMakeFiles/test_net.dir/net/ipv4_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/ipv4_test.cpp.o.d"
+  "/root/repo/tests/net/routing_property_test.cpp" "tests/CMakeFiles/test_net.dir/net/routing_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/routing_property_test.cpp.o.d"
+  "/root/repo/tests/net/routing_test.cpp" "tests/CMakeFiles/test_net.dir/net/routing_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/routing_test.cpp.o.d"
+  "/root/repo/tests/net/rule_test.cpp" "tests/CMakeFiles/test_net.dir/net/rule_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/rule_test.cpp.o.d"
+  "/root/repo/tests/net/ternary_test.cpp" "tests/CMakeFiles/test_net.dir/net/ternary_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/ternary_test.cpp.o.d"
+  "/root/repo/tests/net/topology_test.cpp" "tests/CMakeFiles/test_net.dir/net/topology_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hermes_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/fluid_network_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/fluid_network_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/fluid_network_test.cpp.o.d"
+  "/root/repo/tests/sim/maxmin_property_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/maxmin_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/maxmin_property_test.cpp.o.d"
+  "/root/repo/tests/sim/propagation_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/propagation_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/propagation_test.cpp.o.d"
+  "/root/repo/tests/sim/simulation_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/simulation_test.cpp.o.d"
+  "/root/repo/tests/sim/stats_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hermes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hermes_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/hermes/CMakeFiles/hermes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcam/CMakeFiles/hermes_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hermes_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hermes_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tcam/asic_test.cpp" "tests/CMakeFiles/test_tcam.dir/tcam/asic_test.cpp.o" "gcc" "tests/CMakeFiles/test_tcam.dir/tcam/asic_test.cpp.o.d"
+  "/root/repo/tests/tcam/batch_ops_test.cpp" "tests/CMakeFiles/test_tcam.dir/tcam/batch_ops_test.cpp.o" "gcc" "tests/CMakeFiles/test_tcam.dir/tcam/batch_ops_test.cpp.o.d"
+  "/root/repo/tests/tcam/switch_model_test.cpp" "tests/CMakeFiles/test_tcam.dir/tcam/switch_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_tcam.dir/tcam/switch_model_test.cpp.o.d"
+  "/root/repo/tests/tcam/tcam_table_test.cpp" "tests/CMakeFiles/test_tcam.dir/tcam/tcam_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_tcam.dir/tcam/tcam_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcam/CMakeFiles/hermes_tcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hermes_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcam.dir/tcam/asic_test.cpp.o"
+  "CMakeFiles/test_tcam.dir/tcam/asic_test.cpp.o.d"
+  "CMakeFiles/test_tcam.dir/tcam/batch_ops_test.cpp.o"
+  "CMakeFiles/test_tcam.dir/tcam/batch_ops_test.cpp.o.d"
+  "CMakeFiles/test_tcam.dir/tcam/switch_model_test.cpp.o"
+  "CMakeFiles/test_tcam.dir/tcam/switch_model_test.cpp.o.d"
+  "CMakeFiles/test_tcam.dir/tcam/tcam_table_test.cpp.o"
+  "CMakeFiles/test_tcam.dir/tcam/tcam_table_test.cpp.o.d"
+  "test_tcam"
+  "test_tcam.pdb"
+  "test_tcam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads/bgp_test.cpp" "tests/CMakeFiles/test_workloads.dir/workloads/bgp_test.cpp.o" "gcc" "tests/CMakeFiles/test_workloads.dir/workloads/bgp_test.cpp.o.d"
+  "/root/repo/tests/workloads/microbench_test.cpp" "tests/CMakeFiles/test_workloads.dir/workloads/microbench_test.cpp.o" "gcc" "tests/CMakeFiles/test_workloads.dir/workloads/microbench_test.cpp.o.d"
+  "/root/repo/tests/workloads/trace_io_test.cpp" "tests/CMakeFiles/test_workloads.dir/workloads/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_workloads.dir/workloads/trace_io_test.cpp.o.d"
+  "/root/repo/tests/workloads/traffic_test.cpp" "tests/CMakeFiles/test_workloads.dir/workloads/traffic_test.cpp.o" "gcc" "tests/CMakeFiles/test_workloads.dir/workloads/traffic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/hermes_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hermes_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

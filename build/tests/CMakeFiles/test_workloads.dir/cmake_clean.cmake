@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/workloads/bgp_test.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/bgp_test.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/microbench_test.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/microbench_test.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/trace_io_test.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/trace_io_test.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/traffic_test.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/traffic_test.cpp.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_replay.dir/hermes_replay.cpp.o"
+  "CMakeFiles/hermes_replay.dir/hermes_replay.cpp.o.d"
+  "hermes_replay"
+  "hermes_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_tracegen.dir/hermes_tracegen.cpp.o"
+  "CMakeFiles/hermes_tracegen.dir/hermes_tracegen.cpp.o.d"
+  "hermes_tracegen"
+  "hermes_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

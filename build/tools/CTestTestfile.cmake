@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_tracegen_microbench "/root/repo/build/tools/hermes_tracegen" "microbench" "/root/repo/build/tools/smoke_micro.trace" "200" "500" "0.4" "7")
+set_tests_properties(tools_tracegen_microbench PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_replay_hermes "/root/repo/build/tools/hermes_replay" "/root/repo/build/tools/smoke_micro.trace" "hermes" "pica8" "8192" "5")
+set_tests_properties(tools_replay_hermes PROPERTIES  DEPENDS "tools_tracegen_microbench" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_tracegen_bgp "/root/repo/build/tools/hermes_tracegen" "bgp" "/root/repo/build/tools/smoke_bgp.trace" "nwax" "5")
+set_tests_properties(tools_tracegen_bgp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_replay_plain "/root/repo/build/tools/hermes_replay" "/root/repo/build/tools/smoke_bgp.trace" "plain" "dell" "8192")
+set_tests_properties(tools_replay_plain PROPERTIES  DEPENDS "tools_tracegen_bgp" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_replay_simple "/root/repo/build/tools/hermes_replay" "/root/repo/build/tools/smoke_micro.trace" "hermes-simple:0.2" "hp" "8192")
+set_tests_properties(tools_replay_simple PROPERTIES  DEPENDS "tools_tracegen_microbench" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_usage_error "/root/repo/build/tools/hermes_replay")
+set_tests_properties(tools_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;33;add_test;/root/repo/tools/CMakeLists.txt;0;")
