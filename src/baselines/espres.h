@@ -38,6 +38,10 @@ class EspresSwitch final : public SwitchBackend {
 
   int occupancy() const { return asic_.slice(0).occupancy(); }
   tcam::Asic& asic() { return asic_; }
+  /// Per-op TCAM bookkeeping counters (Fig 15-style overhead accounting).
+  const tcam::TableStats& table_stats() const {
+    return asic_.slice(0).stats();
+  }
 
  private:
   struct Pending {

@@ -27,6 +27,10 @@ class PlainSwitch final : public SwitchBackend {
 
   tcam::Asic& asic() { return asic_; }
   int occupancy() const { return asic_.slice(0).occupancy(); }
+  /// Per-op TCAM bookkeeping counters (Fig 15-style overhead accounting).
+  const tcam::TableStats& table_stats() const {
+    return asic_.slice(0).stats();
+  }
 
  private:
   std::string name_;

@@ -42,6 +42,10 @@ class ShadowSwitchBackend final : public SwitchBackend {
   }
   int tcam_occupancy() const { return asic_.slice(0).occupancy(); }
   tcam::Asic& asic() { return asic_; }
+  /// Per-op TCAM bookkeeping counters (Fig 15-style overhead accounting).
+  const tcam::TableStats& table_stats() const {
+    return asic_.slice(0).stats();
+  }
 
   /// Forces the background flush (end-of-run drain).
   Time flush(Time now);

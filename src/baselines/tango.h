@@ -43,6 +43,10 @@ class TangoSwitch final : public SwitchBackend {
 
   int occupancy() const { return asic_.slice(0).occupancy(); }
   tcam::Asic& asic() { return asic_; }
+  /// Per-op TCAM bookkeeping counters (Fig 15-style overhead accounting).
+  const tcam::TableStats& table_stats() const {
+    return asic_.slice(0).stats();
+  }
   std::uint64_t rules_saved_by_aggregation() const { return saved_; }
 
  private:

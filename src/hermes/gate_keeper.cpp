@@ -63,13 +63,18 @@ Route GateKeeper::route_insert(Time now, const net::Rule& rule,
     ++stats_.lowest_priority;
     return Route::kMainLowestPrio;
   }
-  if (!bucket_.try_take(now)) {
-    ++stats_.over_rate;
-    return Route::kMainOverRate;
-  }
+  // Shadow-capacity check BEFORE the token bucket: a shadow-full
+  // rejection takes the main-table path and must not burn admitted-rate
+  // budget — tokens pay only for shadow capacity actually consumed.
+  // (Consuming first would silently under-admit subsequent guaranteed
+  // inserts and skew the Equation 2 admitted-rate accounting.)
   if (ctx.pieces_needed > ctx.shadow_free) {
     ++stats_.shadow_full;
     return Route::kMainShadowFull;
+  }
+  if (!bucket_.try_take(now)) {
+    ++stats_.over_rate;
+    return Route::kMainOverRate;
   }
   ++stats_.guaranteed;
   return Route::kGuaranteed;

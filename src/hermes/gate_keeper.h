@@ -3,9 +3,11 @@
 // Every flow-mod passes through the Gate Keeper, which decides whether the
 // rule takes the guaranteed path (shadow table) or falls back to the main
 // table. Fallbacks happen when (a) the rule does not match the configured
-// guarantee predicate, (b) the controller exceeds the agreed rate (token
-// bucket), (c) the Section 4.2 lowest-priority optimization applies, or
-// (d) the shadow table cannot absorb the rule.
+// guarantee predicate, (b) the Section 4.2 lowest-priority optimization
+// applies, (c) the shadow table cannot absorb the rule, or (d) the
+// controller exceeds the agreed rate (token bucket). The token bucket is
+// consulted LAST so that rejections for other reasons never consume
+// admitted-rate budget.
 #pragma once
 
 #include <cstdint>

@@ -86,7 +86,9 @@ double HermesAgent::tcam_overhead() const {
 }
 
 int HermesAgent::main_min_priority() const {
-  return main_priorities_.empty() ? 0 : *main_priorities_.begin();
+  // The main table keeps its entries priority-sorted, so the bound is an
+  // O(1) read off the bottom slot (0 when empty, as before).
+  return asic_.slice(kMain).min_priority();
 }
 
 void HermesAgent::note_guaranteed_latency(Duration latency) {
@@ -231,10 +233,8 @@ Time HermesAgent::erase(Time now, net::RuleId logical_id) {
     // then remove the physical entries.
     std::vector<net::RuleId> pieces = lr->physical_ids;
     for (net::RuleId pid : pieces) {
-      if (auto rule = asic_.slice(kMain).find(pid)) {
+      if (const net::Rule* rule = asic_.slice(kMain).find_ptr(pid))
         main_index_.erase(pid, rule->match);
-        main_priorities_.erase(main_priorities_.find(rule->priority));
-      }
     }
     unpartition_dependents(now, logical_id);
     for (net::RuleId pid : pieces) {
@@ -243,7 +243,7 @@ Time HermesAgent::erase(Time now, net::RuleId logical_id) {
     }
   } else {
     for (net::RuleId pid : lr->physical_ids) {
-      if (auto rule = asic_.slice(kShadow).find(pid))
+      if (const net::Rule* rule = asic_.slice(kShadow).find_ptr(pid))
         completion = submit_shadow_delete(now, pid, rule->match);
     }
   }
@@ -333,7 +333,8 @@ void HermesAgent::repartition_logical(Time now, net::RuleId logical_id) {
     std::vector<net::Prefix> current;
     current.reserve(old_pieces.size());
     for (net::RuleId pid : old_pieces)
-      if (auto rule = table.find(pid)) current.push_back(rule->match);
+      if (const net::Rule* rule = table.find_ptr(pid))
+        current.push_back(rule->match);
     std::vector<net::Prefix> target = partition.pieces;
     std::sort(current.begin(), current.end());
     std::sort(target.begin(), target.end());
@@ -403,21 +404,14 @@ Time HermesAgent::submit_main_insert(Time now, const net::Rule& rule,
   tcam::ApplyResult local;
   Time done =
       asic_.submit(now, kMain, {net::FlowModType::kInsert, rule}, &local);
-  if (local.ok) {
-    main_index_.insert(rule);
-    main_priorities_.insert(rule.priority);
-  }
+  if (local.ok) main_index_.insert(rule);
   if (result) *result = local;
   return done;
 }
 
 Time HermesAgent::submit_main_delete(Time now, net::RuleId id,
                                      const net::Prefix& match) {
-  auto rule = asic_.slice(kMain).find(id);
-  if (rule) {
-    main_index_.erase(id, match);
-    main_priorities_.erase(main_priorities_.find(rule->priority));
-  }
+  if (asic_.slice(kMain).contains(id)) main_index_.erase(id, match);
   net::FlowMod del{net::FlowModType::kDelete, net::Rule{id, 0, {}, {}}};
   return asic_.submit(now, kMain, del);
 }

@@ -17,7 +17,6 @@
 
 #include <memory>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "hermes/config.h"
@@ -48,7 +47,14 @@ struct AgentStats {
   std::uint64_t migrations = 0;           ///< Rule Manager runs
   std::uint64_t rules_migrated = 0;       ///< logical rules moved
   std::uint64_t pieces_migrated = 0;      ///< physical entries written to main
-  std::uint64_t pieces_saved_by_merge = 0;///< optimizer savings (step 2)
+  std::uint64_t pieces_saved_by_merge = 0;///< optimizer savings (step 2),
+                                          ///< counted only for rules that
+                                          ///< actually migrated
+  std::uint64_t migration_piece_failures = 0;  ///< pieces the ASIC rejected
+                                               ///< mid-migration batch
+  std::uint64_t migration_rollbacks = 0;  ///< already-written sibling pieces
+                                          ///< deleted back out of main after
+                                          ///< a partial-batch failure
 
   std::uint64_t violations = 0;           ///< guarantee missed
   Duration worst_guaranteed_latency = 0;
@@ -171,6 +177,10 @@ class HermesAgent {
   Time run_migration(Time now);
   void unpartition_dependents(Time now, net::RuleId blocker_logical_id);
 
+  // White-box seam for regression tests that need to stage table states
+  // unreachable through the public API (e.g. stale partition bookkeeping).
+  friend struct AgentTestPeer;
+
   HermesConfig config_;
   tcam::Asic asic_;
   std::unique_ptr<GateKeeper> gate_keeper_;
@@ -178,7 +188,6 @@ class HermesAgent {
   RuleStore store_;
   OverlapIndex main_index_;
   OverlapIndex shadow_index_;
-  std::multiset<int> main_priorities_;
 
   double admitted_rate_ = 0.0;
   net::RuleId piece_id_counter_;

@@ -15,7 +15,7 @@ IncrementalReplaceResult incremental_replace(
   std::vector<net::Rule> old_rules;
   int max_old_priority = optimized.priority;
   for (net::RuleId id : replaced) {
-    auto rule = table.find(id);
+    const net::Rule* rule = table.find_ptr(id);
     if (!rule) continue;
     old_rules.push_back(*rule);
     max_old_priority = std::max(max_old_priority, rule->priority);
@@ -38,7 +38,7 @@ IncrementalReplaceResult incremental_replace(
   // Safety: no unrelated rule overlapping `optimized` may have a priority
   // in (optimized.priority, bumped] — the bump would cross it.
   bool safe = true;
-  for (const net::Rule& resident : table.rules()) {
+  for (const net::Rule& resident : table.rules_view()) {
     if (std::find(replaced.begin(), replaced.end(), resident.id) !=
         replaced.end())
       continue;

@@ -2,7 +2,6 @@
 // prediction, the migration trigger, the four-step migration workflow of
 // Figure 7, and un-partitioning on blocker deletion (Figure 6).
 #include <algorithm>
-#include <cassert>
 
 #include "hermes/hermes_agent.h"
 
@@ -100,9 +99,6 @@ Time HermesAgent::run_migration(Time now) {
     for (net::RuleId pid : partition.cut_against)
       if (auto blocker = store_.logical_of(pid))
         item.blockers.push_back(*blocker);
-    if (lr->physical_ids.size() > item.pieces.size())
-      stats_.pieces_saved_by_merge +=
-          lr->physical_ids.size() - item.pieces.size();
     plan.push_back(std::move(item));
   }
 
@@ -111,7 +107,12 @@ Time HermesAgent::run_migration(Time now) {
   // are still live, so every packet keeps matching a rule throughout.
   tcam::TcamTable& main = asic_.slice(kMain);
   std::vector<net::Rule> batch;
-  std::vector<std::size_t> migrated;  // indices into `plan`
+  struct Span {
+    std::size_t plan_idx;
+    std::size_t begin;  // [begin, end) range of this rule's pieces in batch
+    std::size_t end;
+  };
+  std::vector<Span> spans;
   std::vector<std::size_t> skipped;
   int free_slots = main.capacity() - main.occupancy();
   for (std::size_t i = 0; i < plan.size(); ++i) {
@@ -121,28 +122,61 @@ Time HermesAgent::run_migration(Time now) {
       continue;
     }
     free_slots -= needed;
-    migrated.push_back(i);
+    spans.push_back({i, batch.size(), batch.size() + plan[i].pieces.size()});
     batch.insert(batch.end(), plan[i].pieces.begin(), plan[i].pieces.end());
   }
   Time main_done = now;
+  std::vector<char> piece_ok(batch.size(), 1);
   if (!batch.empty()) {
     if (config_.batched_migration) {
       // One optimized update transaction (Section 5.2, step 2).
       tcam::Asic::BatchResult result;
       main_done = asic_.submit_batch_insert(now, kMain, batch, &result);
-      assert(result.inserted == static_cast<int>(batch.size()));
+      // The batch stops at the first rejected insert: only the prefix is
+      // resident in the ASIC.
+      std::fill(piece_ok.begin() + result.inserted, piece_ok.end(), 0);
     } else {
       // Ablation: naive per-rule reinsertion — each insert pays its own
       // occupancy-deep shifting cost on the main channel.
-      for (const net::Rule& piece : batch)
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        tcam::ApplyResult apply;
         main_done = asic_.submit(now, kMain,
-                                 {net::FlowModType::kInsert, piece});
+                                 {net::FlowModType::kInsert, batch[i]},
+                                 &apply);
+        piece_ok[i] = apply.ok ? 1 : 0;
+      }
     }
-    for (const net::Rule& piece : batch) {
-      main_index_.insert(piece);
-      main_priorities_.insert(piece.priority);
-    }
+    // Index only what the ASIC actually accepted — bookkeeping must never
+    // run ahead of the hardware, even in release builds.
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      if (piece_ok[i]) main_index_.insert(batch[i]);
   }
+
+  // Sort spans into fully-landed rules (migrated) and failures. A rule
+  // with any rejected piece cannot move: its already-written sibling
+  // pieces are rolled back out of main and the rule stays in the shadow
+  // table (it will be re-cut against the updated main table below).
+  std::vector<std::size_t> migrated;  // indices into `plan`
+  std::vector<net::RuleId> rollback;
+  for (const Span& span : spans) {
+    std::size_t failed = 0;
+    for (std::size_t i = span.begin; i < span.end; ++i)
+      if (!piece_ok[i]) ++failed;
+    if (failed == 0) {
+      migrated.push_back(span.plan_idx);
+      continue;
+    }
+    stats_.migration_piece_failures += failed;
+    for (std::size_t i = span.begin; i < span.end; ++i) {
+      if (!piece_ok[i]) continue;
+      main_index_.erase(batch[i].id, batch[i].match);
+      rollback.push_back(batch[i].id);
+      ++stats_.migration_rollbacks;
+    }
+    skipped.push_back(span.plan_idx);
+  }
+  if (!rollback.empty())
+    main_done = asic_.submit_batch_delete(now, kMain, rollback);
 
   // Step 4: empty the migrated rules out of the shadow table as one
   // batched invalidation (deletes move nothing) and rebind bookkeeping.
@@ -150,7 +184,7 @@ Time HermesAgent::run_migration(Time now) {
   for (std::size_t i : migrated) {
     const LogicalRule* lr = store_.find(plan[i].lid);
     for (net::RuleId pid : lr->physical_ids) {
-      if (auto rule = asic_.slice(kShadow).find(pid)) {
+      if (const net::Rule* rule = asic_.slice(kShadow).find_ptr(pid)) {
         shadow_index_.erase(pid, rule->match);
         drained.push_back(pid);
       }
@@ -161,6 +195,14 @@ Time HermesAgent::run_migration(Time now) {
                       : asic_.submit_batch_delete(now, kShadow, drained);
   for (std::size_t i : migrated) {
     Planned& item = plan[i];
+    // Optimizer-savings accounting (Section 5.2 / Fig 7): credited here,
+    // after the batch landed, so rules skipped or rolled back never
+    // overstate the merge savings.
+    if (const LogicalRule* lr = store_.find(item.lid)) {
+      if (lr->physical_ids.size() > item.pieces.size())
+        stats_.pieces_saved_by_merge +=
+            lr->physical_ids.size() - item.pieces.size();
+    }
     std::vector<net::RuleId> new_ids;
     new_ids.reserve(item.pieces.size());
     for (const net::Rule& piece : item.pieces) new_ids.push_back(piece.id);

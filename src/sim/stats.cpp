@@ -48,6 +48,9 @@ std::vector<std::pair<double, double>> cdf(
   std::vector<double> sorted = samples;
   std::sort(sorted.begin(), sorted.end());
   out.reserve(static_cast<std::size_t>(points) + 1);
+  // Anchor the low tail: without the (min, 0) point the smallest sample
+  // never appears and plotted CDFs start at the 1/points quantile.
+  out.emplace_back(sorted.front(), 0.0);
   for (int i = 1; i <= points; ++i) {
     double q = static_cast<double>(i) / points;
     auto idx = static_cast<std::size_t>(

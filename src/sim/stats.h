@@ -23,8 +23,10 @@ struct Summary {
 
 Summary summarize(const std::vector<double>& samples);
 
-/// CDF evaluated at `points` evenly spaced quantiles (plus the max),
-/// as (value, cumulative_probability) pairs — one row per paper CDF line.
+/// CDF evaluated at `points` evenly spaced quantiles, as
+/// (value, cumulative_probability) pairs — one row per paper CDF line.
+/// The first row is the (min, 0) anchor and the last the (max, 1) point,
+/// so both tails of the plotted curve are exact.
 std::vector<std::pair<double, double>> cdf(
     const std::vector<double>& samples, int points = 20);
 

@@ -40,7 +40,7 @@ ApplyResult Asic::apply(int slice_idx, const net::FlowMod& mod) {
       return {r.ok, model_->delete_latency(), 0};
     }
     case net::FlowModType::kModify: {
-      auto existing = table.find(mod.rule.id);
+      const net::Rule* existing = table.find_ptr(mod.rule.id);
       if (!existing) return {false, model_->base_latency(), 0};
       if (existing->priority == mod.rule.priority) {
         // Constant-time in-place rewrite (Section 2.1.1).

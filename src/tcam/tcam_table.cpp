@@ -1,61 +1,78 @@
 #include "tcam/tcam_table.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace hermes::tcam {
 
+namespace {
+// Comparator matching the physical order: non-increasing priority.
+constexpr auto kByPriorityDesc = [](const net::Rule& r, int priority) {
+  return r.priority > priority;
+};
+constexpr auto kPriorityDescUpper = [](int priority, const net::Rule& r) {
+  return priority > r.priority;
+};
+}  // namespace
+
 TcamTable::TcamTable(int capacity) : capacity_(capacity > 0 ? capacity : 0) {
   entries_.reserve(static_cast<std::size_t>(capacity_));
+  priority_of_.reserve(static_cast<std::size_t>(capacity_));
+}
+
+std::size_t TcamTable::locate(net::RuleId id) const {
+  auto it = priority_of_.find(id);
+  if (it == priority_of_.end()) return kNoSlot;
+  int priority = it->second;
+  auto lo = std::lower_bound(entries_.begin(), entries_.end(), priority,
+                             kByPriorityDesc);
+  auto hi = std::upper_bound(lo, entries_.end(), priority, kPriorityDescUpper);
+  for (auto e = lo; e != hi; ++e) {
+    if (e->id == id) return static_cast<std::size_t>(e - entries_.begin());
+  }
+  return kNoSlot;  // unreachable while the index invariant holds
 }
 
 OpResult TcamTable::insert(const net::Rule& rule) {
-  if (full() || contains(rule.id)) {
+  if (full() || priority_of_.count(rule.id) > 0) {
     ++stats_.failed_inserts;
     return {false, 0};
   }
   // Insertion point: after every entry with priority >= rule.priority.
   // (Equal-priority entries keep arrival order; a new lowest-priority
   // rule appends at the bottom with zero shifts.)
-  auto pos = std::upper_bound(
-      entries_.begin(), entries_.end(), rule.priority,
-      [](int priority, const net::Rule& r) { return priority > r.priority; });
+  auto pos = std::upper_bound(entries_.begin(), entries_.end(), rule.priority,
+                              kPriorityDescUpper);
   int shifts = static_cast<int>(entries_.end() - pos);
   entries_.insert(pos, rule);
+  priority_of_.emplace(rule.id, rule.priority);
   ++stats_.inserts;
   stats_.total_shifts += static_cast<std::uint64_t>(shifts);
   return {true, shifts};
 }
 
 OpResult TcamTable::erase(net::RuleId id) {
-  auto it = std::find_if(entries_.begin(), entries_.end(),
-                         [&](const net::Rule& r) { return r.id == id; });
-  if (it == entries_.end()) return {false, 0};
-  entries_.erase(it);
+  std::size_t slot = locate(id);
+  if (slot == kNoSlot) return {false, 0};
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(slot));
+  priority_of_.erase(id);
   ++stats_.deletes;
   return {true, 0};
 }
 
 OpResult TcamTable::modify_action(net::RuleId id, const net::Action& action) {
-  for (net::Rule& r : entries_) {
-    if (r.id == id) {
-      r.action = action;
-      ++stats_.modifies;
-      return {true, 0};
-    }
-  }
-  return {false, 0};
+  std::size_t slot = locate(id);
+  if (slot == kNoSlot) return {false, 0};
+  entries_[slot].action = action;
+  ++stats_.modifies;
+  return {true, 0};
 }
 
 OpResult TcamTable::modify_match(net::RuleId id, const net::Prefix& match) {
-  for (net::Rule& r : entries_) {
-    if (r.id == id) {
-      r.match = match;
-      ++stats_.modifies;
-      return {true, 0};
-    }
-  }
-  return {false, 0};
+  std::size_t slot = locate(id);
+  if (slot == kNoSlot) return {false, 0};
+  entries_[slot].match = match;
+  ++stats_.modifies;
+  return {true, 0};
 }
 
 std::optional<net::Rule> TcamTable::lookup(net::Ipv4Address addr) {
@@ -71,25 +88,38 @@ std::optional<net::Rule> TcamTable::peek(net::Ipv4Address addr) const {
 }
 
 bool TcamTable::contains(net::RuleId id) const {
-  return std::any_of(entries_.begin(), entries_.end(),
-                     [&](const net::Rule& r) { return r.id == id; });
+  return priority_of_.count(id) > 0;
 }
 
 std::optional<net::Rule> TcamTable::find(net::RuleId id) const {
-  auto it = std::find_if(entries_.begin(), entries_.end(),
-                         [&](const net::Rule& r) { return r.id == id; });
-  if (it == entries_.end()) return std::nullopt;
-  return *it;
+  const net::Rule* r = find_ptr(id);
+  if (!r) return std::nullopt;
+  return *r;
+}
+
+const net::Rule* TcamTable::find_ptr(net::RuleId id) const {
+  std::size_t slot = locate(id);
+  return slot == kNoSlot ? nullptr : &entries_[slot];
 }
 
 std::vector<net::Rule> TcamTable::rules() const { return entries_; }
 
-void TcamTable::clear() { entries_.clear(); }
+void TcamTable::clear() {
+  entries_.clear();
+  priority_of_.clear();
+}
 
 bool TcamTable::check_invariant() const {
   if (static_cast<int>(entries_.size()) > capacity_) return false;
   for (std::size_t i = 1; i < entries_.size(); ++i) {
     if (entries_[i].priority > entries_[i - 1].priority) return false;
+  }
+  // Index <-> array agreement: exactly one index entry per rule, carrying
+  // the priority the rule is filed under (what locate() relies on).
+  if (priority_of_.size() != entries_.size()) return false;
+  for (const net::Rule& r : entries_) {
+    auto it = priority_of_.find(r.id);
+    if (it == priority_of_.end() || it->second != r.priority) return false;
   }
   return true;
 }

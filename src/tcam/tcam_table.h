@@ -10,12 +10,25 @@
 // firmware compacts in the background, which is why deletes are fast and
 // occupancy-independent (Section 2.1.1).
 //
+// Bookkeeping cost model: the priority-ordered `entries_` array is the
+// ground truth for shift counts (the hardware mechanics), while an
+// id -> priority hash index replaces the old full-array scans in the
+// agent-side bookkeeping operations (`contains`/`find`/`erase`/
+// `modify_*`). Membership is O(1); locating a slot costs a binary search
+// over the sorted array plus a scan of the one equal-priority run —
+// O(log n + run) instead of O(n). Storing the priority rather than the
+// slot is deliberate: a slot index would be invalidated by every splice
+// (each insert/erase shifts the whole suffix), forcing an O(n) reindex
+// per mutation, while the priority never moves with the entry. The index
+// never changes placement or shift semantics.
+//
 // This class models the mechanics (placement and shift counts);
 // converting shift counts to latency is the job of tcam::SwitchModel.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "net/ipv4.h"
@@ -58,14 +71,15 @@ class TcamTable {
   OpResult insert(const net::Rule& rule);
 
   /// Removes the rule with `id`. No charged movement (background
-  /// compaction), hence `shifts` is always 0.
+  /// compaction), hence `shifts` is always 0. Indexed slot location; the
+  /// entry splice still pays for the slots below it.
   OpResult erase(net::RuleId id);
 
-  /// In-place modification of action (constant time). Fails if absent.
+  /// In-place modification of action (indexed lookup). Fails if absent.
   OpResult modify_action(net::RuleId id, const net::Action& action);
 
   /// In-place modification of the match without priority change
-  /// (constant time, Section 2.1.1). Fails if absent.
+  /// (indexed lookup, Section 2.1.1). Fails if absent.
   OpResult modify_match(net::RuleId id, const net::Prefix& match);
 
   /// First-match lookup (what the hardware does). Returns the matching
@@ -75,23 +89,49 @@ class TcamTable {
   /// Lookup without statistics side effects (for tests/oracles).
   std::optional<net::Rule> peek(net::Ipv4Address addr) const;
 
+  /// O(1) id membership test via the id index.
   bool contains(net::RuleId id) const;
+  /// Indexed id lookup (O(log n + equal-priority run)); copies the rule.
   std::optional<net::Rule> find(net::RuleId id) const;
+  /// Zero-copy indexed id lookup. The pointer is invalidated by any table
+  /// mutation; use it immediately.
+  const net::Rule* find_ptr(net::RuleId id) const;
 
-  /// All rules, top-to-bottom physical order.
+  /// Highest resident priority (first slot); 0 when empty.
+  int max_priority() const {
+    return entries_.empty() ? 0 : entries_.front().priority;
+  }
+  /// Lowest resident priority (last slot); 0 when empty.
+  int min_priority() const {
+    return entries_.empty() ? 0 : entries_.back().priority;
+  }
+
+  /// All rules, top-to-bottom physical order (copies; prefer rules_view).
   std::vector<net::Rule> rules() const;
+
+  /// Zero-copy view of the table, top-to-bottom physical order. The
+  /// reference is invalidated by any table mutation.
+  const std::vector<net::Rule>& rules_view() const { return entries_; }
 
   /// Removes every entry (bulk slice reset, no charged movement).
   void clear();
 
   const TableStats& stats() const { return stats_; }
 
-  /// Validates the physical-order invariant; used by tests.
+  /// Validates the physical-order invariant AND id-index <-> array
+  /// agreement; used by tests.
   bool check_invariant() const;
 
  private:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  /// Slot of `id` via the index: binary-search its priority, then scan
+  /// the equal-priority run. Returns kNoSlot when absent.
+  std::size_t locate(net::RuleId id) const;
+
   int capacity_;
   std::vector<net::Rule> entries_;  // compact, non-increasing priority
+  std::unordered_map<net::RuleId, int> priority_of_;  // id -> priority
   TableStats stats_;
 };
 

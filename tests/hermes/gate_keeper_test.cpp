@@ -142,6 +142,41 @@ TEST(GateKeeper, ShadowFullIsLastResort) {
   EXPECT_EQ(gk.stats().shadow_full, 1u);
 }
 
+TEST(GateKeeper, ShadowFullRejectionDoesNotBurnToken) {
+  // Regression: route_insert used to take the token BEFORE the
+  // shadow-capacity check, so a burst against a full shadow drained the
+  // bucket without admitting anything — and a later insert that would
+  // have fit was bounced as over-rate. Tokens pay for shadow capacity
+  // actually consumed, so the rejection must leave the bucket alone.
+  HermesConfig config;
+  GateKeeper gk(config, /*rate=*/1.0, /*burst=*/1.0);
+  RouteContext full = busy_context();
+  full.shadow_free = 0;
+  EXPECT_EQ(gk.route_insert(0, make_rule(1, 9, "10.0.0.0/8"), full),
+            Route::kMainShadowFull);
+  // The single burst token must still be there: with shadow space back,
+  // the next insert is guaranteed (the old code returned kMainOverRate).
+  EXPECT_EQ(gk.route_insert(0, make_rule(2, 9, "10.0.0.0/8"),
+                            busy_context()),
+            Route::kGuaranteed);
+  EXPECT_EQ(gk.stats().shadow_full, 1u);
+  EXPECT_EQ(gk.stats().over_rate, 0u);
+}
+
+TEST(GateKeeper, ShadowTooSmallForPiecesDoesNotBurnToken) {
+  // Same leak, multi-piece variant: pieces_needed > shadow_free.
+  HermesConfig config;
+  GateKeeper gk(config, 1.0, 1.0);
+  RouteContext cramped = busy_context();
+  cramped.shadow_free = 2;
+  cramped.pieces_needed = 3;
+  EXPECT_EQ(gk.route_insert(0, make_rule(1, 9, "10.0.0.0/8"), cramped),
+            Route::kMainShadowFull);
+  EXPECT_EQ(gk.route_insert(0, make_rule(2, 9, "10.0.0.0/8"),
+                            busy_context()),
+            Route::kGuaranteed);
+}
+
 TEST(GateKeeper, SustainedRateIsAdmitted) {
   // Sending exactly at the token rate must never be rejected.
   HermesConfig config;

@@ -51,13 +51,27 @@ TEST(Cdf, ProducesMonotoneRows) {
   std::vector<double> samples;
   for (int i = 100; i >= 1; --i) samples.push_back(i);
   auto rows = cdf(samples, 10);
-  ASSERT_EQ(rows.size(), 10u);
+  // 10 quantile rows plus the (min, 0) anchor that closes the low tail.
+  ASSERT_EQ(rows.size(), 11u);
   for (std::size_t i = 1; i < rows.size(); ++i) {
     EXPECT_GE(rows[i].first, rows[i - 1].first);
     EXPECT_GT(rows[i].second, rows[i - 1].second);
   }
+  EXPECT_DOUBLE_EQ(rows.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(rows.front().second, 0.0);
   EXPECT_DOUBLE_EQ(rows.back().second, 1.0);
   EXPECT_DOUBLE_EQ(rows.back().first, 100.0);
+}
+
+TEST(Cdf, StartsAtMinWithZeroMass) {
+  // A plotted CDF must rise from probability 0 at the smallest sample;
+  // without the anchor the curve used to start at 1/bins, visually
+  // chopping off the low tail.
+  auto rows = cdf({5.0, 6.0, 7.0}, 4);
+  ASSERT_GE(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows.front().first, 5.0);
+  EXPECT_DOUBLE_EQ(rows.front().second, 0.0);
+  EXPECT_GT(rows[1].second, 0.0);
 }
 
 TEST(Cdf, EmptyInput) { EXPECT_TRUE(cdf({}, 10).empty()); }

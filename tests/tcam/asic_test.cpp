@@ -78,6 +78,31 @@ TEST(Asic, ModifyPriorityChangeBecomesDeleteInsert) {
   EXPECT_EQ(asic.slice(0).find(5)->priority, 20);
 }
 
+TEST(Asic, ModifyPriorityChangeKeepsIndexConsistent) {
+  // The delete+insert rewrite inside apply() is the one mutation path
+  // that moves an id to a new slot in a single control-plane op; the id
+  // index must track it (and keep every other id resolvable).
+  Asic asic(dell_8132f(), {100});
+  for (net::RuleId id = 1; id <= 10; ++id)
+    ASSERT_TRUE(asic.apply(0, {FlowModType::kInsert,
+                               make_rule(id, static_cast<int>(id),
+                                         "10.0.0.0/8")})
+                    .ok);
+  // Move id 5 to the top, then to the bottom, then back mid-table.
+  for (int priority : {20, 0, 7}) {
+    ASSERT_TRUE(
+        asic.apply(0, {FlowModType::kModify,
+                       make_rule(5, priority, "10.0.0.0/8", 3)})
+            .ok);
+    EXPECT_TRUE(asic.slice(0).check_invariant());
+    ASSERT_TRUE(asic.slice(0).find(5).has_value());
+    EXPECT_EQ(asic.slice(0).find(5)->priority, priority);
+    for (net::RuleId id = 1; id <= 10; ++id)
+      EXPECT_TRUE(asic.slice(0).contains(id)) << "id " << id;
+  }
+  EXPECT_EQ(asic.slice(0).occupancy(), 10);
+}
+
 TEST(Asic, ModifyMissingRuleFails) {
   Asic asic(dell_8132f(), {16});
   auto r = asic.apply(

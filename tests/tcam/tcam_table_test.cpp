@@ -279,5 +279,84 @@ TEST_P(TcamTableProperty, RandomOpsPreserveInvariantAndSemantics) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TcamTableProperty,
                          ::testing::Values(1, 17, 23, 42, 99));
 
+// Property: the id index agrees with the priority-ordered array across
+// every mutation path. Exercises all five mutators (insert, erase,
+// modify_action, modify_match, clear) in random interleavings and checks
+// contains/find/find_ptr against a reference map — including misses and
+// ids that were installed then erased (stale-index bait).
+class TcamTableIndexProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TcamTableIndexProperty, IndexMatchesArrayUnderRandomMutations) {
+  std::mt19937_64 rng(GetParam());
+  TcamTable t(48);
+  std::vector<Rule> reference;
+  std::vector<net::RuleId> erased;  // ids the index must have forgotten
+  net::RuleId next_id = 1;
+
+  for (int step = 0; step < 800; ++step) {
+    int op = static_cast<int>(rng() % 5);
+    if (op == 0 || reference.empty()) {
+      // Narrow priority range on purpose: long equal-priority runs stress
+      // the within-run id scan.
+      Rule r{next_id++, static_cast<int>(rng() % 6),
+             Prefix(net::Ipv4Address(static_cast<std::uint32_t>(rng())),
+                    static_cast<int>(rng() % 25)),
+             forward_to(static_cast<int>(rng() % 8))};
+      if (t.insert(r).ok) reference.push_back(r);
+    } else if (op == 1) {
+      std::size_t victim = rng() % reference.size();
+      ASSERT_TRUE(t.erase(reference[victim].id).ok);
+      erased.push_back(reference[victim].id);
+      reference.erase(reference.begin() +
+                      static_cast<std::ptrdiff_t>(victim));
+    } else if (op == 2) {
+      std::size_t victim = rng() % reference.size();
+      net::Action a = forward_to(static_cast<int>(rng() % 8));
+      ASSERT_TRUE(t.modify_action(reference[victim].id, a).ok);
+      reference[victim].action = a;
+    } else if (op == 3) {
+      std::size_t victim = rng() % reference.size();
+      Prefix m(net::Ipv4Address(static_cast<std::uint32_t>(rng())),
+               static_cast<int>(rng() % 25));
+      ASSERT_TRUE(t.modify_match(reference[victim].id, m).ok);
+      reference[victim].match = m;
+    } else if (step % 97 == 0) {  // rare full reset
+      t.clear();
+      for (const Rule& r : reference) erased.push_back(r.id);
+      reference.clear();
+    }
+    ASSERT_TRUE(t.check_invariant()) << "step " << step;
+
+    // Every resident id resolves identically through all three accessors.
+    for (const Rule& r : reference) {
+      EXPECT_TRUE(t.contains(r.id));
+      const net::Rule* p = t.find_ptr(r.id);
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(*p, r);
+      auto copy = t.find(r.id);
+      ASSERT_TRUE(copy.has_value());
+      EXPECT_EQ(*copy, r);
+    }
+    // Erased and never-installed ids must miss.
+    if (!erased.empty()) {
+      net::RuleId gone = erased[rng() % erased.size()];
+      EXPECT_FALSE(t.contains(gone));
+      EXPECT_EQ(t.find_ptr(gone), nullptr);
+      EXPECT_FALSE(t.find(gone).has_value());
+    }
+    EXPECT_FALSE(t.contains(next_id));
+
+    // rules_view is the live array: same size and physical order as
+    // rules(), non-increasing priority.
+    const std::vector<Rule>& view = t.rules_view();
+    ASSERT_EQ(view.size(), reference.size());
+    EXPECT_EQ(view, t.rules());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcamTableIndexProperty,
+                         ::testing::Values(3, 29, 71));
+
 }  // namespace
 }  // namespace hermes::tcam
