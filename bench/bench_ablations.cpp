@@ -69,6 +69,7 @@ workloads::RuleTrace overlap_trace(int count = 4000, double rate = 800,
 }  // namespace
 
 int main() {
+  auto& rep = bench::report::open("ablations", "ms");
   bench::header("Ablations of Hermes's design choices");
   auto trace = overlap_trace();
   std::printf("workload: %zu inserts at 800/s, 80%% overlap, Pica8\n",
@@ -86,6 +87,18 @@ int main() {
     off.lowest_priority_optimization = false;
     RunStats with = run(on, fib);
     RunStats without = run(off, fib);
+    rep.row()
+        .label("ablation", "A1_lowest_priority")
+        .label("variant", "on")
+        .value("pieces", static_cast<double>(with.pieces))
+        .value("migrations", static_cast<double>(with.migrations))
+        .value("mean_op_ms", with.mean_op_ms);
+    rep.row()
+        .label("ablation", "A1_lowest_priority")
+        .label("variant", "off")
+        .value("pieces", static_cast<double>(without.pieces))
+        .value("migrations", static_cast<double>(without.migrations))
+        .value("mean_op_ms", without.mean_op_ms);
     std::printf("\nA1 lowest-priority optimization (BGP FIB trace, "
                 "Section 4.2):\n");
     std::printf("  %-10s pieces=%6llu migrations=%4llu mean-op=%.3fms\n",
@@ -105,6 +118,9 @@ int main() {
     per_rule.batched_migration = false;
     RunStats fast = run(batched, trace);
     RunStats slow = run(per_rule, trace);
+    rep.derived("A2_channel_time_ratio_per_rule_vs_batched",
+                slow.main_channel_busy_ms /
+                    std::max(1.0, fast.main_channel_busy_ms));
     std::printf("\nA2 migration write strategy (Section 5.2 step 2):\n");
     std::printf("  batched:  main-channel busy %.1f ms, %llu migrations\n",
                 fast.main_channel_busy_ms,
@@ -157,6 +173,10 @@ int main() {
     };
     std::uint64_t acl_with = run_acl(true);
     std::uint64_t acl_without = run_acl(false);
+    rep.derived("A3b_acl_piece_ratio_merge_off_vs_on",
+                static_cast<double>(acl_without) /
+                    static_cast<double>(
+                        std::max<std::uint64_t>(1, acl_with)));
     std::printf("  A3b, ternary ACL rules: merge on %llu pieces, merge "
                 "off %llu pieces (%.2fx) — Merge earns its keep on "
                 "multi-field matches\n",
@@ -179,6 +199,12 @@ int main() {
       std::printf("  %9.3f %12.3f %12llu %12llu\n", w, stats.mean_op_ms,
                   static_cast<unsigned long long>(stats.migrations),
                   static_cast<unsigned long long>(stats.violations));
+      rep.row()
+          .label("ablation", "A4_watermark")
+          .value("watermark", w)
+          .value("mean_op_ms", stats.mean_op_ms)
+          .value("migrations", static_cast<double>(stats.migrations))
+          .value("violations", static_cast<double>(stats.violations));
     }
   }
 
@@ -196,5 +222,6 @@ int main() {
                 "is always in hardware)\n",
                 hermes_stats.mean_op_ms, ss.software_resident());
   }
+  rep.write();
   return 0;
 }

@@ -79,9 +79,13 @@ void run_router(const char* name, const workloads::BgpFeedConfig& config) {
   auto hermes_ms = bench::replay(hermes_sw, trace);
   bench::print_summary_line("plain Pica8 RIT", plain_ms, "ms");
   bench::print_summary_line("Hermes RIT", hermes_ms, "ms");
-  std::printf("  p99 RIT improvement: %.0f%%\n",
-              100 * (1 - sim::percentile(hermes_ms, 0.99) /
-                             sim::percentile(plain_ms, 0.99)));
+  double p99_improvement = 100 * (1 - sim::percentile(hermes_ms, 0.99) /
+                                          sim::percentile(plain_ms, 0.99));
+  std::printf("  p99 RIT improvement: %.0f%%\n", p99_improvement);
+  if (auto* rep = bench::report::current()) {
+    rep->derived(std::string(name) + "_p99_rit_improvement_pct",
+                 p99_improvement);
+  }
 
   // Violations vs slack (the Section 8.4 ">80% slack" observation).
   std::printf("  violations vs slack:");
@@ -94,6 +98,7 @@ void run_router(const char* name, const workloads::BgpFeedConfig& config) {
 }  // namespace
 
 int main() {
+  auto& rep = bench::report::open("bgp", "ms");
   bench::header(
       "BGP: traditional networks and Hermes  [paper: Sections 2.3, 8.4]");
   // Edge-router-scale tables: full-feed FIBs sit beyond the Table 1
@@ -110,5 +115,6 @@ int main() {
   run_router("TELXATL Atlanta", scaled(workloads::telxatl_atlanta()));
   run_router("NWAX Portland", scaled(workloads::nwax_portland()));
   run_router("RouteViews Oregon", scaled(workloads::route_views_oregon()));
+  rep.write();
   return 0;
 }

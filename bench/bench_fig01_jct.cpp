@@ -33,6 +33,7 @@ std::pair<std::vector<double>, std::vector<double>> jct_ratios(
 }  // namespace
 
 int main() {
+  auto& rep = bench::report::open("fig01_jct", "x");
   bench::header(
       "Figure 1: CDF of increase ratio of JCT (vs zero-latency control "
       "plane)  [paper: Fig 1]");
@@ -56,5 +57,6 @@ int main() {
     bench::print_summary_line("long-job JCT ratio", long_r, "x");
     bench::print_cdf("long jobs: JCT increase ratio CDF", long_r, 10);
   }
+  rep.write();
   return 0;
 }

@@ -47,15 +47,23 @@ void run_workload(const char* name, const workloads::RuleTrace& trace) {
               100 * (1 - hermes_med / medians[0]),
               100 * (1 - hermes_med / medians[1]),
               100 * (1 - hermes_med / medians[2]));
+  if (auto* rep = bench::report::current()) {
+    std::string prefix = std::string(name) + "_improvement_pct_vs_";
+    rep->derived(prefix + "pica8", 100 * (1 - hermes_med / medians[0]));
+    rep->derived(prefix + "dell", 100 * (1 - hermes_med / medians[1]));
+    rep->derived(prefix + "hp", 100 * (1 - hermes_med / medians[2]));
+  }
 }
 
 }  // namespace
 
 int main() {
+  auto& rep = bench::report::open("fig08_rit", "ms");
   bench::header("Figure 8: Rule Installation Time CDFs  [paper: Fig 8]");
   auto facebook = bench::facebook_scenario();
   run_workload("Facebook", bench::busiest_switch_trace(facebook));
   auto geant = bench::geant_scenario();
   run_workload("Geant", bench::busiest_switch_trace(geant));
+  rep.write();
   return 0;
 }

@@ -40,6 +40,7 @@ FctSets fcts(const bench::SimOutcome& outcome) {
 }  // namespace
 
 int main() {
+  auto& rep = bench::report::open("fig09_fct", "s");
   bench::header("Figure 9: Flow Completion Time CDFs  [paper: Fig 9]");
 
   struct Case {
@@ -79,6 +80,14 @@ int main() {
   std::printf("  Hermes p95 short-flow improvement vs Pica8: %.0f%%  "
               "[paper: ~80%%]\n",
               100 * (1 - medians_short[3] / medians_short[0]));
+  rep.derived("median_fct_improvement_pct_vs_pica8",
+              100 * (1 - medians_all[3] / medians_all[0]));
+  rep.derived("median_fct_improvement_pct_vs_dell",
+              100 * (1 - medians_all[3] / medians_all[1]));
+  rep.derived("median_fct_improvement_pct_vs_hp",
+              100 * (1 - medians_all[3] / medians_all[2]));
+  rep.derived("p95_short_fct_improvement_pct_vs_pica8",
+              100 * (1 - medians_short[3] / medians_short[0]));
 
   std::printf("\n--- Geant (ISP) ---\n");
   auto geant = bench::geant_scenario();
@@ -89,5 +98,6 @@ int main() {
     bench::print_summary_line("FCT", sets.all, "s");
     bench::print_cdf("FCT CDF (s)", sets.all, 10);
   }
+  rep.write();
   return 0;
 }

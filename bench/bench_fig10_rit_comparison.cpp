@@ -34,11 +34,17 @@ void run_workload(const char* name, const workloads::RuleTrace& trace) {
               "%.0f%% better  [paper: >50%% in the median case]\n",
               100 * (1 - hermes_med / tango_med),
               100 * (1 - hermes_med / espres_med));
+  if (auto* rep = bench::report::current()) {
+    std::string prefix = std::string(name) + "_improvement_pct_vs_";
+    rep->derived(prefix + "tango", 100 * (1 - hermes_med / tango_med));
+    rep->derived(prefix + "espres", 100 * (1 - hermes_med / espres_med));
+  }
 }
 
 }  // namespace
 
 int main() {
+  auto& rep = bench::report::open("fig10_rit_comparison", "ms");
   bench::header(
       "Figure 10: RIT comparison, Hermes vs Tango vs ESPRES  [paper: Fig "
       "10]");
@@ -46,5 +52,6 @@ int main() {
   run_workload("Facebook", bench::busiest_switch_trace(facebook));
   auto geant = bench::geant_scenario();
   run_workload("Geant", bench::busiest_switch_trace(geant));
+  rep.write();
   return 0;
 }

@@ -34,6 +34,7 @@ std::vector<double> first_rules(const char* kind,
 }  // namespace
 
 int main() {
+  auto& rep = bench::report::open("fig11_timeseries", "ms");
   bench::header(
       "Figure 11: time series of rule installation time (first 1000 "
       "rules)  [paper: Fig 11]");
@@ -61,12 +62,21 @@ int main() {
       for (std::size_t i = lo; i < hi && i < v.size(); ++i) total += v[i];
       return total / static_cast<double>(hi - lo);
     };
+    double tango_growth =
+        mean_range(tango, n - 100, n) / mean_range(tango, 0, 100);
+    double espres_growth =
+        mean_range(espres, n - 100, n) / mean_range(espres, 0, 100);
+    double hermes_growth =
+        mean_range(hermes_ms, n - 100, n) / mean_range(hermes_ms, 0, 100);
     std::printf("  growth (mean last100 / mean first100): Tango %.1fx, "
                 "ESPRES %.1fx, Hermes %.1fx\n",
-                mean_range(tango, n - 100, n) / mean_range(tango, 0, 100),
-                mean_range(espres, n - 100, n) / mean_range(espres, 0, 100),
-                mean_range(hermes_ms, n - 100, n) /
-                    mean_range(hermes_ms, 0, 100));
+                tango_growth, espres_growth, hermes_growth);
+    rep.row()
+        .label("workload", workload)
+        .value("tango_growth", tango_growth)
+        .value("espres_growth", espres_growth)
+        .value("hermes_growth", hermes_growth);
   }
+  rep.write();
   return 0;
 }

@@ -66,6 +66,14 @@ void sweep(double rate) {
       Cell cell = run_cell(rate, overlap / 100.0, slack);
       std::printf(" %8.3f [%4.1f%%]", cell.mean_latency_ms,
                   cell.violation_pct);
+      if (auto* rep = bench::report::current()) {
+        rep->row()
+            .value("rate_per_s", rate)
+            .value("slack_pct", slack * 100)
+            .value("overlap_pct", overlap)
+            .value("mean_latency_ms", cell.mean_latency_ms)
+            .value("violation_pct", cell.violation_pct);
+      }
     }
     std::printf("\n");
   }
@@ -74,6 +82,7 @@ void sweep(double rate) {
 }  // namespace
 
 int main() {
+  auto& rep = bench::report::open("fig13_slack", "ms");
   bench::header(
       "Figure 13: rule insertion latency vs slack factor x overlap rate "
       "(Dell 8132F)  [paper: Fig 13]");
@@ -82,5 +91,6 @@ int main() {
   std::printf(
       "\n  paper shape: high rate + high overlap needs ~100%% slack; low "
       "rate is insensitive but still helped by slack\n");
+  rep.write();
   return 0;
 }

@@ -13,6 +13,7 @@
 
 int main() {
   using namespace hermes;
+  auto& rep = bench::report::open("fig14_asic_overhead", "pct");
   bench::header(
       "Figure 14: ASIC overhead percentage vs performance guarantee  "
       "[paper: Fig 14]");
@@ -44,6 +45,10 @@ int main() {
         std::printf(" %9s%%", "n/a");
       else
         std::printf(" %9.2f%%", overhead * 100);
+      rep.row()
+          .label("switch", sw.name)
+          .value("guarantee_ms", ms)
+          .value("overhead_pct", overhead < 0 ? -1.0 : overhead * 100);
     }
     std::printf("\n");
     ++id;
@@ -51,5 +56,6 @@ int main() {
   std::printf(
       "\n  paper shape: overheads differ per switch but stay small; the "
       "headline 5 ms guarantee costs <5%% on the Pica8\n");
+  rep.write();
   return 0;
 }

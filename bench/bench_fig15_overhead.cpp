@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "bench/report.h"
 #include "hermes/hermes_agent.h"
 #include "hermes/overlap_index.h"
 #include "hermes/partition.h"
@@ -119,6 +120,36 @@ BENCHMARK(BM_AgentThroughput)
     ->Arg(1000)->Arg(5000)->Arg(10000)->Arg(20000)
     ->Unit(benchmark::kMillisecond);
 
+// Mirrors every finished benchmark run into the shared bench report
+// (BENCH_fig15_overhead.json) while keeping the usual console table.
+class RowReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    bench::report::Reporter* rep = bench::report::current();
+    if (!rep) return;
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters = static_cast<double>(run.iterations);
+      const double scale = run.iterations ? 1e9 / iters : 1e9;
+      rep->row()
+          .label("benchmark", run.benchmark_name())
+          .value("iterations", iters)
+          .value("real_ns_per_iter", run.real_accumulated_time * scale)
+          .value("cpu_ns_per_iter", run.cpu_accumulated_time * scale);
+    }
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  auto& rep = hermes::bench::report::open("fig15_overhead", "ns");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RowReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  rep.write();
+  return 0;
+}

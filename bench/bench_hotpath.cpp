@@ -9,28 +9,49 @@
 // so the indexed/linear speedup is reproduced in every run, and emits
 // machine-readable BENCH_hotpath.json next to the human-readable table.
 //
-// Usage: bench_hotpath [output.json]   (default: BENCH_hotpath.json)
+// Usage: bench_hotpath [--smoke] [output.json]
+//   (default output: BENCH_hotpath.json; --smoke shrinks sizes and rep
+//    counts to CI scale — the derived speedups are then measured at the
+//    largest size that still ran)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "hermes/hermes_agent.h"
 #include "baselines/plain_switch.h"
+#include "report.h"
 #include "tcam/switch_model.h"
 #include "tcam/tcam_table.h"
 
 namespace hermes::bench {
 namespace {
 
-using Clock = std::chrono::steady_clock;
+// Process CPU time, not wall clock: on a contended CI core, preemption
+// inflates wall-clock windows by milliseconds, which swamps the tens-of-
+// ns indexed operations this bench exists to measure.
+struct Clock {
+  struct time_point {
+    std::int64_t ns;
+  };
+  static time_point now() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return {static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec};
+#else
+    return {std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count()};
+#endif
+  }
+};
 
 double ns_since(Clock::time_point start, std::uint64_t ops) {
-  auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                     Clock::now() - start)
-                     .count();
+  auto elapsed = Clock::now().ns - start.ns;
   return ops == 0 ? 0.0
                   : static_cast<double>(elapsed) / static_cast<double>(ops);
 }
@@ -103,6 +124,14 @@ void record(const std::string& op, const std::string& impl, int rules,
   g_rows.push_back({op, impl, rules, ops, ns});
   std::printf("  %-16s %-8s n=%6d  ops=%8llu  %12.1f ns/op\n", op.c_str(),
               impl.c_str(), rules, static_cast<unsigned long long>(ops), ns);
+  if (report::Reporter* rep = report::current()) {
+    rep->row()
+        .label("op", op)
+        .label("impl", impl)
+        .value("rules", rules)
+        .value("ops", static_cast<double>(ops))
+        .value("ns_per_op", ns);
+  }
 }
 
 // find/contains: point lookups by id against a resident table.
@@ -149,6 +178,16 @@ double bench_drain(Table& table, std::uint64_t reps) {
   return ns_since(start, reps);
 }
 
+// Best-of-N repeated measurement: the min discards warmup and scheduler
+// noise, which otherwise swings single-shot runs enough to flake the CI
+// regression gate (the derived speedups divide two of these numbers).
+template <typename F>
+double best_of(int reps, F&& measure) {
+  double best = measure();
+  for (int i = 1; i < reps; ++i) best = std::min(best, measure());
+  return best;
+}
+
 void bench_tables(int n, std::uint64_t find_reps, std::uint64_t churn_reps) {
   std::mt19937_64 rng(0xC0FFEE ^ static_cast<std::uint64_t>(n));
   std::vector<net::Rule> rules;
@@ -180,24 +219,33 @@ void bench_tables(int n, std::uint64_t find_reps, std::uint64_t churn_reps) {
                           : rules[rng() % rules.size()].id);
   }
   IndexedView view{indexed};
-  record("find", "indexed", n, probes.size(), bench_find(view, probes));
-  record("find", "linear", n, probes.size(), bench_find(linear, probes));
+  record("find", "indexed", n, probes.size(),
+         best_of(3, [&] { return bench_find(view, probes); }));
+  record("find", "linear", n, probes.size(),
+         best_of(3, [&] { return bench_find(linear, probes); }));
 
   std::vector<net::Rule> victims;
   victims.reserve(churn_reps);
   for (std::uint64_t i = 0; i < churn_reps; ++i)
     victims.push_back(rules[rng() % rules.size()]);
   record("erase_insert", "indexed", n, victims.size() * 2,
-         bench_churn(view, victims));
+         best_of(3, [&] { return bench_churn(view, victims); }));
   record("erase_insert", "linear", n, victims.size() * 2,
-         bench_churn(linear, victims));
+         best_of(3, [&] { return bench_churn(linear, victims); }));
 
-  // Drain last so both tables still hold all n rules above; erases
-  // min(churn_reps, n/2) bottom entries from each.
-  std::uint64_t drain = std::min<std::uint64_t>(churn_reps,
-                                                static_cast<std::uint64_t>(n) / 2);
-  record("erase_drain", "indexed", n, drain, bench_drain(view, drain));
-  record("erase_drain", "linear", n, drain, bench_drain(linear, drain));
+  // Drain last so both tables still hold all n rules above. The drain
+  // destroys entries, so it cannot be repeated wholesale; instead it is
+  // timed as the min over many small chunks (total erased <= n/2). The
+  // indexed erase is tens of ns, so on a busy CI core a single long
+  // measurement gets preempted — the min over short chunks recovers the
+  // uncontended cost.
+  const int kDrainChunks = 12;
+  std::uint64_t chunk = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(n) / (2 * kDrainChunks));
+  record("erase_drain", "indexed", n, chunk * kDrainChunks,
+         best_of(kDrainChunks, [&] { return bench_drain(view, chunk); }));
+  record("erase_drain", "linear", n, chunk * kDrainChunks,
+         best_of(kDrainChunks, [&] { return bench_drain(linear, chunk); }));
 }
 
 // Agent migration: fill the shadow table, drain it into main, repeat until
@@ -250,57 +298,60 @@ double ns_of(const std::string& op, const std::string& impl, int rules) {
   return 0.0;
 }
 
-void write_json(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"benchmark\": \"hotpath\",\n  \"unit\": \"ns_per_op\",\n");
-  std::fprintf(f, "  \"results\": [\n");
-  for (std::size_t i = 0; i < g_rows.size(); ++i) {
-    const Row& r = g_rows[i];
-    std::fprintf(f,
-                 "    {\"op\": \"%s\", \"impl\": \"%s\", \"rules\": %d, "
-                 "\"ops\": %llu, \"ns_per_op\": %.2f}%s\n",
-                 r.op.c_str(), r.impl.c_str(), r.rules,
-                 static_cast<unsigned long long>(r.ops), r.ns_per_op,
-                 i + 1 < g_rows.size() ? "," : "");
-  }
-  double find_speedup = ns_of("find", "linear", 65536) /
-                        std::max(ns_of("find", "indexed", 65536), 1e-9);
-  double drain_speedup = ns_of("erase_drain", "linear", 65536) /
-                         std::max(ns_of("erase_drain", "indexed", 65536), 1e-9);
-  double churn_speedup =
-      ns_of("erase_insert", "linear", 65536) /
-      std::max(ns_of("erase_insert", "indexed", 65536), 1e-9);
-  std::fprintf(f,
-               "  ],\n  \"speedup_64k\": {\"find\": %.1f, "
-               "\"erase_drain\": %.1f, \"erase_insert\": %.1f}\n}\n",
-               find_speedup, drain_speedup, churn_speedup);
-  std::fclose(f);
-  std::printf(
-      "\nspeedup @64k rules: find %.1fx, erase (drain) %.1fx, "
-      "erase+insert churn %.1fx\n",
-      find_speedup, drain_speedup, churn_speedup);
-  std::printf("wrote %s\n", path.c_str());
-}
-
 }  // namespace
 }  // namespace hermes::bench
 
 int main(int argc, char** argv) {
   using namespace hermes::bench;
-  std::string out = argc > 1 ? argv[1] : "BENCH_hotpath.json";
-  std::printf("hot-path microbenchmark (real ns, not simulated latency)\n");
-  for (int n : {1024, 4096, 16384, 65536}) {
-    std::printf("--- %d rules ---\n", n);
-    // Fixed probe counts keep the linear reference inside CI time while
-    // giving the indexed path enough iterations to resolve per-op cost.
-    bench_tables(n, /*find_reps=*/20000, /*churn_reps=*/4000);
+  bool smoke = false;
+  std::string out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      out = argv[i];
+    }
   }
-  for (int n : {1024, 4096, 16384}) bench_migrate(n);
-  for (int n : {1024, 4096, 16384}) bench_backend(n);
-  write_json(out);
+  auto& rep = report::open("hotpath", "ns_per_op");
+  std::printf("hot-path microbenchmark (real ns, not simulated latency)%s\n",
+              smoke ? " [smoke]" : "");
+  // Fixed probe counts keep the linear reference inside CI time while
+  // giving the indexed path enough iterations to resolve per-op cost.
+  std::vector<int> table_sizes = smoke ? std::vector<int>{1024, 4096, 16384}
+                                       : std::vector<int>{1024, 4096, 16384,
+                                                          65536};
+  // Reps are NOT reduced in smoke mode: the derived speedups must stay
+  // stable enough for a 25% CI gate, and fewer reps measure noise.
+  std::uint64_t find_reps = 20000;
+  std::uint64_t churn_reps = 4000;
+  for (int n : table_sizes) {
+    std::printf("--- %d rules ---\n", n);
+    bench_tables(n, find_reps, churn_reps);
+  }
+  std::vector<int> agent_sizes =
+      smoke ? std::vector<int>{1024, 4096} : std::vector<int>{1024, 4096,
+                                                              16384};
+  for (int n : agent_sizes) bench_migrate(n);
+  for (int n : agent_sizes) bench_backend(n);
+
+  // Headline indexed-vs-linear ratios at the largest size that ran.
+  // Ratios — not raw ns/op — are what CI regression-gates: they are
+  // stable across machines while absolute timings are not.
+  int top = table_sizes.back();
+  double find_speedup = ns_of("find", "linear", top) /
+                        std::max(ns_of("find", "indexed", top), 1e-9);
+  double drain_speedup = ns_of("erase_drain", "linear", top) /
+                         std::max(ns_of("erase_drain", "indexed", top), 1e-9);
+  double churn_speedup =
+      ns_of("erase_insert", "linear", top) /
+      std::max(ns_of("erase_insert", "indexed", top), 1e-9);
+  rep.derived("find_speedup", find_speedup);
+  rep.derived("erase_drain_speedup", drain_speedup);
+  rep.derived("erase_insert_speedup", churn_speedup);
+  std::printf(
+      "\nspeedup @%dk rules: find %.1fx, erase (drain) %.1fx, "
+      "erase+insert churn %.1fx\n",
+      top / 1024, find_speedup, drain_speedup, churn_speedup);
+  rep.write(out);
   return 0;
 }

@@ -109,6 +109,7 @@ workloads::RuleTrace ramp_trace() {
 }  // namespace
 
 int main() {
+  auto& rep = bench::report::open("sens_predictors", "ms");
   bench::header(
       "Section 8.6: sensitivity to prediction algorithms  [paper: text, "
       "80-94% improvement for CubicSpline+Slack]");
@@ -127,10 +128,17 @@ int main() {
                   (std::string(predictor) + "+" + corrector).c_str(),
                   out.mean_prediction_error, out.p99_op_ms,
                   out.violation_pct);
+      rep.row()
+          .label("predictor", predictor)
+          .label("corrector", corrector)
+          .value("mean_prediction_error", out.mean_prediction_error)
+          .value("p99_op_ms", out.p99_op_ms)
+          .value("violation_pct", out.violation_pct);
     }
   }
   std::printf(
       "\n  paper shape: CubicSpline has the lowest prediction error and, "
       "with Slack, the best installation behavior\n");
+  rep.write();
   return 0;
 }

@@ -58,14 +58,24 @@ void run_switch(const tcam::SwitchModel& model, const char* asic_name,
   std::printf("  %-18s %14s %16s\n", "Table Occupancy", "Model Update/s",
               "Measured Update/s");
   for (int occ : occupancies) {
-    std::printf("  %-18d %14.0f %16.0f\n", occ, model.max_update_rate(occ),
-                measured_rate(model, occ));
+    double model_rate = model.max_update_rate(occ);
+    double measured = measured_rate(model, occ);
+    std::printf("  %-18d %14.0f %16.0f\n", occ, model_rate, measured);
+    if (auto* rep = bench::report::current()) {
+      rep->row()
+          .label("switch", model.name())
+          .value("occupancy", occ)
+          .value("model_updates_per_s", model_rate)
+          .value("measured_updates_per_s", measured);
+    }
   }
 }
 
 }  // namespace
 
 int main() {
+  auto& rep = hermes::bench::report::open("table1_update_rate",
+                                          "updates_per_s");
   bench::header(
       "Table 1: Rule Update Rate vs Occupancy  [paper: Table 1]");
   std::printf(
@@ -77,5 +87,6 @@ int main() {
              {50, 250, 500, 750});
   run_switch(hermes::tcam::hp_5406zl(), "ProVision (Table 1 omits; modeled)",
              {50, 250, 1000, 2000});
+  rep.write();
   return 0;
 }

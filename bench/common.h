@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "baselines/switch_backend.h"
+#include "report.h"
 #include "sim/stats.h"
 #include "workloads/trace.h"
 
@@ -59,9 +60,22 @@ inline void print_cdf(const std::string& label,
 inline void print_summary_line(const std::string& label,
                                const std::vector<double>& samples,
                                const std::string& unit) {
-  std::printf("  %s\n",
-              sim::format_summary(label, sim::summarize(samples), unit)
-                  .c_str());
+  sim::Summary s = sim::summarize(samples);
+  std::printf("  %s\n", sim::format_summary(label, s, unit).c_str());
+  // Mirror every printed summary into the machine-readable report so the
+  // per-figure benches get BENCH_<name>.json rows without per-site code.
+  if (report::Reporter* rep = report::current()) {
+    rep->row()
+        .label("label", label)
+        .label("unit", unit)
+        .value("n", static_cast<double>(s.count))
+        .value("min", s.min)
+        .value("median", s.median)
+        .value("mean", s.mean)
+        .value("p95", s.p95)
+        .value("p99", s.p99)
+        .value("max", s.max);
+  }
 }
 
 inline void header(const std::string& title) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+
+#include "obs/trace.h"
 
 namespace hermes::core {
 
@@ -46,38 +49,63 @@ double TokenBucket::available(Time now) const {
 }
 
 GateKeeper::GateKeeper(const HermesConfig& config, double token_rate,
-                       double token_burst)
-    : config_(&config), bucket_(token_rate, token_burst) {}
+                       double token_burst, obs::Registry* registry)
+    : config_(&config), bucket_(token_rate, token_burst) {
+  if (!registry) {
+    owned_obs_ = std::make_unique<obs::Registry>();
+    registry = owned_obs_.get();
+  }
+  obs_ = registry;
+  guaranteed_ = obs_->counter("gate.guaranteed");
+  unmatched_ = obs_->counter("gate.unmatched");
+  over_rate_ = obs_->counter("gate.over_rate");
+  lowest_priority_ = obs_->counter("gate.lowest_priority");
+  shadow_full_ = obs_->counter("gate.shadow_full");
+  tokens_ = obs_->gauge("gate.tokens");
+}
+
+const GateKeeperStats& GateKeeper::stats() const {
+  stats_view_.guaranteed = guaranteed_.value();
+  stats_view_.unmatched = unmatched_.value();
+  stats_view_.over_rate = over_rate_.value();
+  stats_view_.lowest_priority = lowest_priority_.value();
+  stats_view_.shadow_full = shadow_full_.value();
+  return stats_view_;
+}
 
 Route GateKeeper::route_insert(Time now, const net::Rule& rule,
                                const RouteContext& ctx) {
+  Route route;
   if (config_->predicate && !config_->predicate(rule)) {
-    ++stats_.unmatched;
-    return Route::kMainUnmatched;
+    unmatched_.inc();
+    route = Route::kMainUnmatched;
+  } else if (config_->lowest_priority_optimization && !ctx.main_full &&
+             (ctx.main_empty || rule.priority <= ctx.main_min_priority)) {
+    // Section 4.2: a rule at or below the bottom of the main table appends
+    // without shifting — inserting it into the shadow table would only
+    // waste guaranteed capacity and maximize partitioning.
+    lowest_priority_.inc();
+    route = Route::kMainLowestPrio;
+  } else if (ctx.pieces_needed > ctx.shadow_free) {
+    // Shadow-capacity check BEFORE the token bucket: a shadow-full
+    // rejection takes the main-table path and must not burn admitted-rate
+    // budget — tokens pay only for shadow capacity actually consumed.
+    // (Consuming first would silently under-admit subsequent guaranteed
+    // inserts and skew the Equation 2 admitted-rate accounting.)
+    shadow_full_.inc();
+    route = Route::kMainShadowFull;
+  } else if (!bucket_.try_take(now)) {
+    over_rate_.inc();
+    route = Route::kMainOverRate;
+  } else {
+    guaranteed_.inc();
+    route = Route::kGuaranteed;
   }
-  // Section 4.2: a rule at or below the bottom of the main table appends
-  // without shifting — inserting it into the shadow table would only
-  // waste guaranteed capacity and maximize partitioning.
-  if (config_->lowest_priority_optimization && !ctx.main_full &&
-      (ctx.main_empty || rule.priority <= ctx.main_min_priority)) {
-    ++stats_.lowest_priority;
-    return Route::kMainLowestPrio;
-  }
-  // Shadow-capacity check BEFORE the token bucket: a shadow-full
-  // rejection takes the main-table path and must not burn admitted-rate
-  // budget — tokens pay only for shadow capacity actually consumed.
-  // (Consuming first would silently under-admit subsequent guaranteed
-  // inserts and skew the Equation 2 admitted-rate accounting.)
-  if (ctx.pieces_needed > ctx.shadow_free) {
-    ++stats_.shadow_full;
-    return Route::kMainShadowFull;
-  }
-  if (!bucket_.try_take(now)) {
-    ++stats_.over_rate;
-    return Route::kMainOverRate;
-  }
-  ++stats_.guaranteed;
-  return Route::kGuaranteed;
+  tokens_.set(
+      static_cast<std::int64_t>(std::floor(bucket_.available(now))));
+  obs::trace_event(
+      obs::admission_event(now, static_cast<std::uint8_t>(route)));
+  return route;
 }
 
 }  // namespace hermes::core

@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "hermes/config.h"
 #include "net/rule.h"
 #include "net/time.h"
+#include "obs/metrics.h"
 
 namespace hermes::core {
 
@@ -60,6 +62,10 @@ struct RouteContext {
   bool main_full = false;
 };
 
+/// Per-reason admission totals. Since the obs refactor this is a VIEW
+/// assembled from the backing metric registry on each stats() call, not
+/// independent storage — the registry (gate.* counters) is the source of
+/// truth, and this struct keeps the historical accessor shape.
 struct GateKeeperStats {
   std::uint64_t guaranteed = 0;
   std::uint64_t unmatched = 0;
@@ -70,20 +76,33 @@ struct GateKeeperStats {
 
 class GateKeeper {
  public:
+  /// Counts admissions into `registry` (gate.* counters). When null, the
+  /// Gate Keeper owns a private registry so standalone use still counts.
   GateKeeper(const HermesConfig& config, double token_rate,
-             double token_burst);
+             double token_burst, obs::Registry* registry = nullptr);
 
   /// Routing decision for an insertion arriving at `now`.
   Route route_insert(Time now, const net::Rule& rule,
                      const RouteContext& ctx);
 
-  const GateKeeperStats& stats() const { return stats_; }
+  /// Thin view over the registry counters (rebuilt per call; take a copy
+  /// if you need a frozen reading).
+  const GateKeeperStats& stats() const;
   const TokenBucket& bucket() const { return bucket_; }
+  const obs::Registry& registry() const { return *obs_; }
 
  private:
   const HermesConfig* config_;
   TokenBucket bucket_;
-  GateKeeperStats stats_;
+  std::unique_ptr<obs::Registry> owned_obs_;  // set iff none was injected
+  obs::Registry* obs_;
+  obs::Counter guaranteed_;
+  obs::Counter unmatched_;
+  obs::Counter over_rate_;
+  obs::Counter lowest_priority_;
+  obs::Counter shadow_full_;
+  obs::Gauge tokens_;  // floor of the bucket level after each decision
+  mutable GateKeeperStats stats_view_;
 };
 
 }  // namespace hermes::core

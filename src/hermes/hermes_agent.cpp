@@ -36,7 +36,29 @@ HermesAgent::HermesAgent(const tcam::SwitchModel& model,
   double burst =
       config_.token_burst > 0 ? config_.token_burst : static_cast<double>(shadow);
   admitted_rate_ = rate;
-  gate_keeper_ = std::make_unique<GateKeeper>(config_, rate, burst);
+  obs_ = std::make_unique<obs::Registry>();
+  m_.inserts = obs_->counter("agent.inserts");
+  m_.deletes = obs_->counter("agent.deletes");
+  m_.modifies = obs_->counter("agent.modifies");
+  m_.failed_ops = obs_->counter("agent.failed_ops");
+  m_.guaranteed_inserts = obs_->counter("agent.guaranteed_inserts");
+  m_.main_inserts = obs_->counter("agent.main_inserts");
+  m_.redundant_inserts = obs_->counter("agent.redundant_inserts");
+  m_.partition_pieces = obs_->counter("agent.partition_pieces");
+  m_.repartitions = obs_->counter("agent.repartitions");
+  m_.unpartitions = obs_->counter("agent.unpartitions");
+  m_.migrations = obs_->counter("agent.migrations");
+  m_.rules_migrated = obs_->counter("agent.rules_migrated");
+  m_.pieces_migrated = obs_->counter("agent.pieces_migrated");
+  m_.pieces_saved_by_merge = obs_->counter("agent.pieces_saved_by_merge");
+  m_.migration_piece_failures =
+      obs_->counter("agent.migration_piece_failures");
+  m_.migration_rollbacks = obs_->counter("agent.migration_rollbacks");
+  m_.violations = obs_->counter("agent.violations");
+  m_.worst_guaranteed_latency_ns =
+      obs_->gauge("agent.worst_guaranteed_latency_ns");
+  gate_keeper_ =
+      std::make_unique<GateKeeper>(config_, rate, burst, obs_.get());
 
   auto predictor = make_predictor(config_.predictor);
   auto corrector = make_corrector(config_.corrector, config_.corrector_param);
@@ -80,6 +102,30 @@ int HermesAgent::main_occupancy() const {
   return asic_.slice(kMain).occupancy();
 }
 
+const AgentStats& HermesAgent::stats() const {
+  stats_view_.inserts = m_.inserts.value();
+  stats_view_.deletes = m_.deletes.value();
+  stats_view_.modifies = m_.modifies.value();
+  stats_view_.failed_ops = m_.failed_ops.value();
+  stats_view_.guaranteed_inserts = m_.guaranteed_inserts.value();
+  stats_view_.main_inserts = m_.main_inserts.value();
+  stats_view_.redundant_inserts = m_.redundant_inserts.value();
+  stats_view_.partition_pieces = m_.partition_pieces.value();
+  stats_view_.repartitions = m_.repartitions.value();
+  stats_view_.unpartitions = m_.unpartitions.value();
+  stats_view_.migrations = m_.migrations.value();
+  stats_view_.rules_migrated = m_.rules_migrated.value();
+  stats_view_.pieces_migrated = m_.pieces_migrated.value();
+  stats_view_.pieces_saved_by_merge = m_.pieces_saved_by_merge.value();
+  stats_view_.migration_piece_failures =
+      m_.migration_piece_failures.value();
+  stats_view_.migration_rollbacks = m_.migration_rollbacks.value();
+  stats_view_.violations = m_.violations.value();
+  stats_view_.worst_guaranteed_latency =
+      static_cast<Duration>(m_.worst_guaranteed_latency_ns.value());
+  return stats_view_;
+}
+
 double HermesAgent::tcam_overhead() const {
   return static_cast<double>(shadow_capacity()) /
          static_cast<double>(asic_.total_capacity());
@@ -92,9 +138,8 @@ int HermesAgent::main_min_priority() const {
 }
 
 void HermesAgent::note_guaranteed_latency(Duration latency) {
-  stats_.worst_guaranteed_latency =
-      std::max(stats_.worst_guaranteed_latency, latency);
-  if (latency > config_.guarantee) ++stats_.violations;
+  m_.worst_guaranteed_latency_ns.set_max(static_cast<std::int64_t>(latency));
+  if (latency > config_.guarantee) m_.violations.inc();
 }
 
 // --- Control plane entry points ---------------------------------------------
@@ -114,7 +159,7 @@ Time HermesAgent::handle(Time now, const net::FlowMod& mod) {
 Time HermesAgent::insert(Time now, const net::Rule& rule) {
   assert(rule.id < kPieceIdBase && "logical rule ids must be < 2^32");
   if (store_.contains(rule.id)) return modify(now, rule);
-  ++stats_.inserts;
+  m_.inserts.inc();
 
   const tcam::TcamTable& shadow = asic_.slice(kShadow);
   const tcam::TcamTable& main = asic_.slice(kMain);
@@ -136,7 +181,7 @@ Time HermesAgent::insert(Time now, const net::Rule& rule) {
   if (partition.redundant) {
     // Figure 5 (a): the rule could never match; record it (with its
     // blockers) so a later blocker deletion can materialize it.
-    ++stats_.redundant_inserts;
+    m_.redundant_inserts.inc();
     std::vector<net::RuleId> blockers;
     for (net::RuleId pid : partition.cut_against)
       if (auto lid = store_.logical_of(pid)) blockers.push_back(*lid);
@@ -147,7 +192,7 @@ Time HermesAgent::insert(Time now, const net::Rule& rule) {
   }
   if (static_cast<int>(partition.pieces.size()) > ctx.shadow_free) {
     // Shadow cannot absorb the pieces: guarantee missed, fall back.
-    ++stats_.violations;
+    m_.violations.inc();
     return insert_to_main(now, rule, /*count_violation=*/false);
   }
   return insert_guaranteed(now, rule, std::move(partition));
@@ -181,12 +226,18 @@ Time HermesAgent::insert_guaranteed(Time now, const net::Rule& rule,
   std::vector<net::RuleId> blockers;
   for (net::RuleId pid : partition.cut_against)
     if (auto lid = store_.logical_of(pid)) blockers.push_back(*lid);
+  const std::size_t blocker_count = blockers.size();
   store_.add(LogicalRule{rule, Placement::kShadow, std::move(piece_ids),
                          partitioned, std::move(blockers)});
 
-  ++stats_.guaranteed_inserts;
-  stats_.partition_pieces += pieces.size();
+  m_.guaranteed_inserts.inc();
+  m_.partition_pieces.inc(pieces.size());
   arrivals_this_epoch_ += static_cast<double>(pieces.size());
+  if (partitioned) {
+    obs::trace_event(obs::partition_expand_event(
+        now, static_cast<int>(pieces.size()),
+        static_cast<int>(blocker_count)));
+  }
 
   // The guarantee is per control-plane ACTION on the TCAM: a partitioned
   // insert is several actions, each individually bounded by the shadow
@@ -194,8 +245,7 @@ Time HermesAgent::insert_guaranteed(Time now, const net::Rule& rule,
   // counted separately at the routing layer).
   Duration latency = completion - now;
   note_guaranteed_latency(worst_piece);
-  stats_.worst_guaranteed_latency =
-      std::max(stats_.worst_guaranteed_latency, latency);
+  m_.worst_guaranteed_latency_ns.set_max(static_cast<std::int64_t>(latency));
   record_rit(latency, op_latency);
   return completion;
 }
@@ -205,12 +255,12 @@ Time HermesAgent::insert_to_main(Time now, const net::Rule& rule,
   tcam::ApplyResult result;
   Time completion = submit_main_insert(now, rule, &result);
   if (!result.ok) {
-    ++stats_.failed_ops;
+    m_.failed_ops.inc();
     return completion;
   }
   store_.add(LogicalRule{rule, Placement::kMain, {rule.id}, false, {}});
-  ++stats_.main_inserts;
-  if (count_violation) ++stats_.violations;
+  m_.main_inserts.inc();
+  if (count_violation) m_.violations.inc();
   record_rit(completion - now, result.latency);
   // A rule landing in main can shadow-mask lower-priority shadow rules
   // (the mirror of Figure 4): cut them now.
@@ -219,10 +269,10 @@ Time HermesAgent::insert_to_main(Time now, const net::Rule& rule,
 }
 
 Time HermesAgent::erase(Time now, net::RuleId logical_id) {
-  ++stats_.deletes;
+  m_.deletes.inc();
   const LogicalRule* lr = store_.find(logical_id);
   if (!lr) {
-    ++stats_.failed_ops;
+    m_.failed_ops.inc();
     return now;
   }
   Time completion = now;
@@ -252,10 +302,10 @@ Time HermesAgent::erase(Time now, net::RuleId logical_id) {
 }
 
 Time HermesAgent::modify(Time now, const net::Rule& rule) {
-  ++stats_.modifies;
+  m_.modifies.inc();
   LogicalRule* lr = store_.find_mutable(rule.id);
   if (!lr) {
-    ++stats_.failed_ops;
+    m_.failed_ops.inc();
     return now;
   }
   if (rule.priority == lr->original.priority &&
@@ -306,7 +356,7 @@ void HermesAgent::repartition_shadow_overlaps(Time now,
   }
   for (net::RuleId lid : logicals) {
     repartition_logical(now, lid);
-    ++stats_.repartitions;
+    m_.repartitions.inc();
   }
 }
 

@@ -27,10 +27,16 @@
 #include "hermes/rule_store.h"
 #include "net/rule.h"
 #include "net/time.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tcam/asic.h"
 
 namespace hermes::core {
 
+/// Per-agent operation totals. Since the obs refactor this is a VIEW
+/// assembled from the agent's metric registry on each stats() call, not
+/// independent storage — the registry (agent.* counters) is the source
+/// of truth, and this struct keeps the historical accessor shape.
 struct AgentStats {
   std::uint64_t inserts = 0;
   std::uint64_t deletes = 0;
@@ -99,7 +105,11 @@ class HermesAgent {
   /// Max guaranteed insertion rate, Equation 2.
   double admitted_rate() const { return admitted_rate_; }
 
-  const AgentStats& stats() const { return stats_; }
+  /// Thin view over the registry counters (rebuilt per call; take a copy
+  /// if you need a frozen reading).
+  const AgentStats& stats() const;
+  /// The agent-private metric registry (also backs the Gate Keeper).
+  const obs::Registry& registry() const { return *obs_; }
   const GateKeeper& gate_keeper() const { return *gate_keeper_; }
   const RuleStore& store() const { return store_; }
   tcam::Asic& asic() { return asic_; }
@@ -168,6 +178,8 @@ class HermesAgent {
   void record_rit(Duration sojourn, Duration op_latency) {
     rit_samples_.push_back(sojourn);
     op_latency_samples_.push_back(op_latency);
+    obs_rit_.record(static_cast<std::uint64_t>(sojourn));
+    obs_op_latency_.record(static_cast<std::uint64_t>(op_latency));
   }
   void note_guaranteed_latency(Duration latency);
 
@@ -181,8 +193,35 @@ class HermesAgent {
   // unreachable through the public API (e.g. stale partition bookkeeping).
   friend struct AgentTestPeer;
 
+  /// Registry-backed replacements for the historical AgentStats fields.
+  /// Each agent counts into its own private registry (obs_) so stats stay
+  /// per-instance even when many agents coexist in one simulation; the
+  /// process-attached registry receives only aggregate histograms and the
+  /// trace events.
+  struct Metrics {
+    obs::Counter inserts;
+    obs::Counter deletes;
+    obs::Counter modifies;
+    obs::Counter failed_ops;
+    obs::Counter guaranteed_inserts;
+    obs::Counter main_inserts;
+    obs::Counter redundant_inserts;
+    obs::Counter partition_pieces;
+    obs::Counter repartitions;
+    obs::Counter unpartitions;
+    obs::Counter migrations;
+    obs::Counter rules_migrated;
+    obs::Counter pieces_migrated;
+    obs::Counter pieces_saved_by_merge;
+    obs::Counter migration_piece_failures;
+    obs::Counter migration_rollbacks;
+    obs::Counter violations;
+    obs::Gauge worst_guaranteed_latency_ns;
+  };
+
   HermesConfig config_;
   tcam::Asic asic_;
+  std::unique_ptr<obs::Registry> obs_;  // outlives gate_keeper_'s handles
   std::unique_ptr<GateKeeper> gate_keeper_;
   std::unique_ptr<GrowthEstimator> estimator_;
   RuleStore store_;
@@ -193,9 +232,20 @@ class HermesAgent {
   net::RuleId piece_id_counter_;
   Time epoch_start_ = 0;
   double arrivals_this_epoch_ = 0;
-  AgentStats stats_;
+  Metrics m_;
+  mutable AgentStats stats_view_;
   std::vector<Duration> rit_samples_;
   std::vector<Duration> op_latency_samples_;
+
+  // Aggregate distributions, shared across agents via the process-attached
+  // registry (detached no-op handles when none is attached).
+  obs::Histogram obs_rit_ = obs::attached_histogram("agent.rit_ns");
+  obs::Histogram obs_op_latency_ =
+      obs::attached_histogram("agent.op_latency_ns");
+  obs::Histogram obs_migration_rules_ =
+      obs::attached_histogram("migration.batch_rules");
+  obs::Histogram obs_migration_pieces_ =
+      obs::attached_histogram("migration.batch_pieces");
 };
 
 }  // namespace hermes::core

@@ -165,6 +165,14 @@ GrowthEstimator::GrowthEstimator(std::unique_ptr<Predictor> predictor,
 }
 
 void GrowthEstimator::observe(double count) {
+  // Score the forecast this history WOULD have produced for the epoch
+  // that just closed (guarded: predict() is not free, so only pay for it
+  // when a registry is actually collecting).
+  if (obs_samples_.attached() && !history_.empty()) {
+    obs_samples_.inc();
+    obs_abs_error_.record(static_cast<std::uint64_t>(
+        std::abs(raw_prediction() - count) + 0.5));
+  }
   history_.push_back(count);
   if (history_.size() > max_history_)
     history_.erase(history_.begin(),

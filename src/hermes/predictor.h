@@ -14,6 +14,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace hermes::core {
 
 /// Forecasts the next value of a (non-negative) time series.
@@ -125,6 +127,13 @@ class GrowthEstimator {
   std::unique_ptr<Corrector> corrector_;
   std::size_t max_history_;
   std::vector<double> history_;
+
+  // Forecast-accuracy aggregates (process-attached registry; detached
+  // no-op handles otherwise). The error histogram records |raw forecast -
+  // actual| in whole rules, not nanoseconds.
+  obs::Counter obs_samples_ = obs::attached_counter("predictor.samples");
+  obs::Histogram obs_abs_error_ =
+      obs::attached_histogram("predictor.abs_error");
 };
 
 /// Factory helpers for the configuration matrix of Section 8.6.

@@ -27,6 +27,11 @@ void HermesAgent::tick(Time now) {
 Time HermesAgent::migrate_now(Time now) { return run_migration(now); }
 
 void HermesAgent::close_epoch() {
+  // Forecast-vs-actual sample for the epoch that just ended: what the
+  // estimator would have predicted BEFORE seeing this epoch's count.
+  obs::trace_event(obs::predictor_sample_event(
+      epoch_start_ + config_.epoch, estimator_->raw_prediction(),
+      arrivals_this_epoch_));
   estimator_->observe(arrivals_this_epoch_);
   arrivals_this_epoch_ = 0;
 }
@@ -57,7 +62,7 @@ Time HermesAgent::run_migration(Time now) {
   std::vector<net::RuleId> shadow_lids =
       store_.ids_with_placement(Placement::kShadow);
   if (shadow_lids.empty()) return now;
-  ++stats_.migrations;
+  m_.migrations.inc();
 
   // Migrate higher-priority rules first so that, if the main table runs
   // out of room mid-migration, the rules left behind in the shadow table
@@ -166,12 +171,12 @@ Time HermesAgent::run_migration(Time now) {
       migrated.push_back(span.plan_idx);
       continue;
     }
-    stats_.migration_piece_failures += failed;
+    m_.migration_piece_failures.inc(failed);
     for (std::size_t i = span.begin; i < span.end; ++i) {
       if (!piece_ok[i]) continue;
       main_index_.erase(batch[i].id, batch[i].match);
       rollback.push_back(batch[i].id);
-      ++stats_.migration_rollbacks;
+      m_.migration_rollbacks.inc();
     }
     skipped.push_back(span.plan_idx);
   }
@@ -193,6 +198,12 @@ Time HermesAgent::run_migration(Time now) {
   Time shadow_done =
       drained.empty() ? now
                       : asic_.submit_batch_delete(now, kShadow, drained);
+  std::uint64_t pieces_this_run = 0;
+  std::uint64_t failures_this_run = 0;
+  for (const Span& span : spans) {
+    for (std::size_t i = span.begin; i < span.end; ++i)
+      if (!piece_ok[i]) ++failures_this_run;
+  }
   for (std::size_t i : migrated) {
     Planned& item = plan[i];
     // Optimizer-savings accounting (Section 5.2 / Fig 7): credited here,
@@ -200,8 +211,8 @@ Time HermesAgent::run_migration(Time now) {
     // overstate the merge savings.
     if (const LogicalRule* lr = store_.find(item.lid)) {
       if (lr->physical_ids.size() > item.pieces.size())
-        stats_.pieces_saved_by_merge +=
-            lr->physical_ids.size() - item.pieces.size();
+        m_.pieces_saved_by_merge.inc(lr->physical_ids.size() -
+                                     item.pieces.size());
     }
     std::vector<net::RuleId> new_ids;
     new_ids.reserve(item.pieces.size());
@@ -209,8 +220,9 @@ Time HermesAgent::run_migration(Time now) {
     bool partitioned = item.partitioned || item.pieces.empty();
     store_.rebind(item.lid, Placement::kMain, std::move(new_ids),
                   partitioned, std::move(item.blockers));
-    ++stats_.rules_migrated;
-    stats_.pieces_migrated += item.pieces.size();
+    m_.rules_migrated.inc();
+    m_.pieces_migrated.inc(item.pieces.size());
+    pieces_this_run += item.pieces.size();
   }
 
   // Rules that did not fit stay in the shadow table; they would now mask
@@ -218,10 +230,17 @@ Time HermesAgent::run_migration(Time now) {
   // the updated main table.
   for (std::size_t i : skipped) {
     repartition_logical(now, plan[i].lid);
-    ++stats_.repartitions;
+    m_.repartitions.inc();
   }
 
-  return std::max(main_done, shadow_done);
+  Time done = std::max(main_done, shadow_done);
+  obs_migration_rules_.record(migrated.size());
+  obs_migration_pieces_.record(pieces_this_run);
+  obs::trace_event(obs::migration_batch_event(
+      now, static_cast<int>(migrated.size()),
+      static_cast<int>(pieces_this_run),
+      static_cast<int>(failures_this_run), done - now));
+  return done;
 }
 
 void HermesAgent::unpartition_dependents(Time now,
@@ -236,7 +255,7 @@ void HermesAgent::unpartition_dependents(Time now,
   });
   for (net::RuleId lid : deps) {
     repartition_logical(now, lid);
-    ++stats_.unpartitions;
+    m_.unpartitions.inc();
   }
 }
 

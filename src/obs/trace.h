@@ -1,0 +1,107 @@
+// Structured event tracing for the Hermes pipeline.
+//
+// A TraceEvent is a small fixed-size typed record: no strings, no heap.
+// Producers call the factory helpers below and hand the record to
+// obs::Registry::trace() (usually through obs::trace_event(), which
+// targets the process-attached registry and is a no-op when none is
+// attached). Records land in a bounded ring buffer — the newest
+// `trace_capacity` events survive; older ones are dropped and counted —
+// and are exported as JSON alongside the metric registry.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hermes::obs {
+
+/// Simulated-time timestamp (integer nanoseconds), mirroring
+/// hermes::Time without pulling net/ headers into the obs layer.
+using TimeNs = std::int64_t;
+
+enum class EventKind : std::uint8_t {
+  kTcamShift,        ///< a TCAM insert moved entries (arg = slice index)
+  kAdmission,        ///< Gate Keeper routing decision (arg = Route)
+  kMigrationBatch,   ///< one Rule Manager migration run
+  kPredictorSample,  ///< forecast vs. actual arrivals for a closed epoch
+  kPartitionExpand,  ///< a rule was cut into multiple pieces
+};
+
+std::string_view kind_name(EventKind kind);
+
+/// One fixed-layout trace record. Field meaning depends on `kind`; the
+/// factory helpers below are the documentation of record.
+struct TraceEvent {
+  EventKind kind = EventKind::kTcamShift;
+  std::uint8_t arg = 0;     ///< small discriminator (slice idx, route, ...)
+  std::uint32_t a = 0;      ///< primary count (shifts, batch size, pieces)
+  std::uint32_t b = 0;      ///< secondary count (failures, blockers)
+  TimeNs time = 0;          ///< simulated time of the event
+  std::int64_t latency_ns = 0;  ///< modeled latency, when meaningful
+  double x = 0;             ///< predictor: forecast
+  double y = 0;             ///< predictor: actual
+};
+
+/// An insert into slice `slice` that shifted `shifts` resident entries
+/// and occupied the update engine for `latency_ns`.
+inline TraceEvent tcam_shift_event(TimeNs t, int slice, int shifts,
+                                   std::int64_t latency_ns) {
+  TraceEvent e;
+  e.kind = EventKind::kTcamShift;
+  e.arg = static_cast<std::uint8_t>(slice);
+  e.a = static_cast<std::uint32_t>(shifts);
+  e.time = t;
+  e.latency_ns = latency_ns;
+  return e;
+}
+
+/// A Gate Keeper routing decision. `route` is the numeric value of
+/// core::Route (0 = guaranteed; anything else is a main-table fallback).
+inline TraceEvent admission_event(TimeNs t, std::uint8_t route) {
+  TraceEvent e;
+  e.kind = EventKind::kAdmission;
+  e.arg = route;
+  e.time = t;
+  return e;
+}
+
+/// One Rule Manager migration run: `rules` logical rules moved as
+/// `pieces` physical entries; `failures` pieces were rejected mid-batch.
+inline TraceEvent migration_batch_event(TimeNs t, int rules, int pieces,
+                                        int failures,
+                                        std::int64_t latency_ns) {
+  TraceEvent e;
+  e.kind = EventKind::kMigrationBatch;
+  e.arg = static_cast<std::uint8_t>(failures > 0 ? 1 : 0);
+  e.a = static_cast<std::uint32_t>(pieces);
+  e.b = static_cast<std::uint32_t>(failures);
+  e.time = t;
+  e.latency_ns = latency_ns;
+  e.x = rules;
+  return e;
+}
+
+/// A closed prediction epoch: the (corrected) forecast made for the
+/// epoch vs. the arrivals actually observed.
+inline TraceEvent predictor_sample_event(TimeNs t, double forecast,
+                                         double actual) {
+  TraceEvent e;
+  e.kind = EventKind::kPredictorSample;
+  e.time = t;
+  e.x = forecast;
+  e.y = actual;
+  return e;
+}
+
+/// Algorithm 1 cut a rule into `pieces` physical entries against
+/// `blockers` overlapping higher-priority rules.
+inline TraceEvent partition_expand_event(TimeNs t, int pieces,
+                                         int blockers) {
+  TraceEvent e;
+  e.kind = EventKind::kPartitionExpand;
+  e.a = static_cast<std::uint32_t>(pieces);
+  e.b = static_cast<std::uint32_t>(blockers);
+  e.time = t;
+  return e;
+}
+
+}  // namespace hermes::obs

@@ -20,6 +20,7 @@
 #include "baselines/switch_backend.h"
 #include "net/routing.h"
 #include "net/topology.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "sim/fluid_network.h"
 #include "workloads/trace.h"
@@ -158,6 +159,17 @@ class Simulation {
   net::RuleId rule_id_counter_ = 1;
   int total_moves_ = 0;
   int outstanding_flows_ = 0;
+
+  // Event-loop health, aggregated into the process-attached registry
+  // (detached no-op handles otherwise): total events dispatched, queue
+  // depth sampled every 64 events, and final virtual-time / wall-clock
+  // positions for lag analysis.
+  obs::Counter obs_events_ = obs::attached_counter("sim.events");
+  obs::Histogram obs_queue_depth_ =
+      obs::attached_histogram("sim.queue_depth");
+  obs::Gauge obs_virtual_time_ns_ =
+      obs::attached_gauge("sim.virtual_time_ns");
+  obs::Gauge obs_wall_time_ns_ = obs::attached_gauge("sim.wall_time_ns");
 };
 
 }  // namespace hermes::sim

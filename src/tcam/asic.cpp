@@ -82,6 +82,9 @@ Time Asic::submit_batch_insert(Time now, int slice_idx,
   Time start = std::max(now, channel);
   Time done = start + latency;
   channel = done;
+  obs_batch_ops_.inc();
+  obs_batch_rules_.inc(static_cast<std::uint64_t>(inserted));
+  obs_batch_latency_.record(static_cast<std::uint64_t>(latency));
   if (result) *result = {inserted, latency};
   return done;
 }
@@ -99,6 +102,9 @@ Time Asic::submit_batch_delete(Time now, int slice_idx,
   Time start = std::max(now, channel);
   Time done = start + latency;
   channel = done;
+  obs_batch_ops_.inc();
+  obs_batch_rules_.inc(static_cast<std::uint64_t>(removed));
+  obs_batch_latency_.record(static_cast<std::uint64_t>(latency));
   if (result) *result = {removed, latency};
   return done;
 }
@@ -110,6 +116,10 @@ Time Asic::submit(Time now, int slice_idx, const net::FlowMod& mod,
   Time start = std::max(now, channel);
   Time done = start + r.latency;
   channel = done;
+  obs_op_latency_.record(static_cast<std::uint64_t>(r.latency));
+  if (r.ok && r.shifts > 0)
+    obs::trace_event(
+        obs::tcam_shift_event(now, slice_idx, r.shifts, r.latency));
   if (result) *result = r;
   return done;
 }

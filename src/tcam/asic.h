@@ -15,6 +15,8 @@
 
 #include "net/rule.h"
 #include "net/time.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tcam/switch_model.h"
 #include "tcam/tcam_table.h"
 
@@ -96,6 +98,18 @@ class Asic {
   const SwitchModel* model_;
   std::vector<TcamTable> slices_;
   std::vector<Time> busy_until_;
+
+  // Modeled control-channel occupation per op / per batch, aggregated
+  // across all ASICs into the process-attached registry (detached no-op
+  // handles otherwise). TcamShift trace events are emitted from submit(),
+  // where the simulated arrival time is known.
+  obs::Histogram obs_op_latency_ =
+      obs::attached_histogram("asic.op_latency_ns");
+  obs::Histogram obs_batch_latency_ =
+      obs::attached_histogram("asic.batch_latency_ns");
+  obs::Counter obs_batch_ops_ = obs::attached_counter("asic.batch_ops");
+  obs::Counter obs_batch_rules_ =
+      obs::attached_counter("asic.batch_rules");
 };
 
 }  // namespace hermes::tcam

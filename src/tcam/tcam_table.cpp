@@ -35,6 +35,7 @@ std::size_t TcamTable::locate(net::RuleId id) const {
 OpResult TcamTable::insert(const net::Rule& rule) {
   if (full() || priority_of_.count(rule.id) > 0) {
     ++stats_.failed_inserts;
+    obs_failed_inserts_.inc();
     return {false, 0};
   }
   // Insertion point: after every entry with priority >= rule.priority.
@@ -47,6 +48,8 @@ OpResult TcamTable::insert(const net::Rule& rule) {
   priority_of_.emplace(rule.id, rule.priority);
   ++stats_.inserts;
   stats_.total_shifts += static_cast<std::uint64_t>(shifts);
+  obs_inserts_.inc();
+  obs_shifts_.inc(static_cast<std::uint64_t>(shifts));
   return {true, shifts};
 }
 
@@ -56,6 +59,7 @@ OpResult TcamTable::erase(net::RuleId id) {
   entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(slot));
   priority_of_.erase(id);
   ++stats_.deletes;
+  obs_deletes_.inc();
   return {true, 0};
 }
 
@@ -64,6 +68,7 @@ OpResult TcamTable::modify_action(net::RuleId id, const net::Action& action) {
   if (slot == kNoSlot) return {false, 0};
   entries_[slot].action = action;
   ++stats_.modifies;
+  obs_modifies_.inc();
   return {true, 0};
 }
 
@@ -72,11 +77,13 @@ OpResult TcamTable::modify_match(net::RuleId id, const net::Prefix& match) {
   if (slot == kNoSlot) return {false, 0};
   entries_[slot].match = match;
   ++stats_.modifies;
+  obs_modifies_.inc();
   return {true, 0};
 }
 
 std::optional<net::Rule> TcamTable::lookup(net::Ipv4Address addr) {
   ++stats_.lookups;
+  obs_lookups_.inc();
   return peek(addr);
 }
 

@@ -33,6 +33,7 @@
 
 #include "net/ipv4.h"
 #include "net/rule.h"
+#include "obs/metrics.h"
 
 namespace hermes::tcam {
 
@@ -133,6 +134,18 @@ class TcamTable {
   std::vector<net::Rule> entries_;  // compact, non-increasing priority
   std::unordered_map<net::RuleId, int> priority_of_;  // id -> priority
   TableStats stats_;
+
+  // Pipeline-wide aggregate counters (obs layer). Captured from the
+  // process-attached registry at construction; detached no-op handles —
+  // one predicted branch per op — when none is attached. The per-table
+  // TableStats above stays the exact per-instance view.
+  obs::Counter obs_inserts_ = obs::attached_counter("tcam.inserts");
+  obs::Counter obs_deletes_ = obs::attached_counter("tcam.deletes");
+  obs::Counter obs_modifies_ = obs::attached_counter("tcam.modifies");
+  obs::Counter obs_failed_inserts_ =
+      obs::attached_counter("tcam.failed_inserts");
+  obs::Counter obs_shifts_ = obs::attached_counter("tcam.shifts");
+  obs::Counter obs_lookups_ = obs::attached_counter("tcam.lookups");
 };
 
 }  // namespace hermes::tcam

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json files and fail on regressions.
+
+Usage:
+    bench_compare.py BASELINE CANDIDATE [--threshold 0.25] [--gate derived|all]
+
+Both files must be schema_version-1 documents written by bench/report.h.
+The comparison has two scopes:
+
+  * derived{}  -- machine-independent ratio metrics (speedups, improvement
+    percentages). These are always compared and, by default, are the only
+    metrics that GATE (exit non-zero on >threshold regression). CI compares
+    a fresh run against a committed baseline produced on a different
+    machine, so raw timings cannot gate -- ratios of two measurements taken
+    on the same machine can.
+  * results[]  -- per-row numeric fields. Rows are matched by their string
+    label fields plus occurrence index (benches may repeat the same label
+    set, e.g. one row per backend). Compared always; gated only with
+    --gate all (useful for same-machine A/B runs).
+
+Direction is inferred from the metric name: keys containing speedup /
+improvement / throughput / per_s / rate are higher-is-better; everything
+else is lower-is-better. A metric present in the baseline but missing from
+the candidate is a gating failure (it catches silently renamed keys).
+
+Exit codes: 0 ok, 1 regression (or missing gated metric), 2 usage/load
+error.
+"""
+
+import argparse
+import json
+import signal
+import sys
+
+# Die quietly when piped into `head` instead of raising BrokenPipeError.
+if hasattr(signal, "SIGPIPE"):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+HIGHER_IS_BETTER_TOKENS = ("speedup", "improvement", "throughput", "per_s",
+                           "rate")
+# Baselines smaller than this are too noisy for a relative comparison.
+EPSILON = 1e-9
+
+
+def higher_is_better(key):
+    lowered = key.lower()
+    return any(token in lowered for token in HIGHER_IS_BETTER_TOKENS)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot load {path}: {exc}")
+    if doc.get("schema_version") != 1:
+        sys.exit(f"error: {path}: unsupported schema_version "
+                 f"{doc.get('schema_version')!r} (expected 1)")
+    return doc
+
+
+def row_key(row):
+    """Identity of a row: its string-valued label fields, in order."""
+    return tuple((k, v) for k, v in row.items() if isinstance(v, str))
+
+
+def indexed_rows(rows):
+    """Map (label-key, occurrence-index) -> row."""
+    seen = {}
+    out = {}
+    for row in rows:
+        key = row_key(row)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out[(key, occurrence)] = row
+    return out
+
+
+class Comparison:
+    def __init__(self, threshold):
+        self.threshold = threshold
+        self.lines = []
+        self.gating_failures = []
+
+    def compare_metric(self, scope, name, base, cand, gated):
+        if not isinstance(base, (int, float)) or not isinstance(
+                cand, (int, float)):
+            return
+        if abs(base) < EPSILON:
+            self.lines.append(f"  ~ {scope} {name}: baseline ~0, skipped")
+            return
+        better = higher_is_better(name)
+        delta = (cand - base) / abs(base)
+        regression = -delta if better else delta
+        arrow = "better" if (delta > 0) == better or delta == 0 else "worse"
+        flag = "  "
+        if regression > self.threshold:
+            flag = "!!" if gated else " ?"
+            if gated:
+                self.gating_failures.append(
+                    f"{scope} {name}: {base:.6g} -> {cand:.6g} "
+                    f"({regression * 100:+.1f}% regression, "
+                    f"{'higher' if better else 'lower'}-is-better)")
+        self.lines.append(
+            f"{flag} {scope} {name}: {base:.6g} -> {cand:.6g} "
+            f"({delta * 100:+.1f}%, {arrow})")
+
+    def missing(self, scope, name, gated):
+        self.lines.append(f"!! {scope} {name}: missing from candidate")
+        if gated:
+            self.gating_failures.append(
+                f"{scope} {name}: present in baseline, missing from "
+                f"candidate")
+
+    def added(self, scope, name):
+        self.lines.append(f"  + {scope} {name}: new in candidate")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH json files; fail on >threshold "
+                    "regressions.")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative regression that fails the gate "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--gate", choices=("derived", "all"),
+                        default="derived",
+                        help="which metrics gate: derived{} only (default, "
+                             "machine-independent) or all row fields too")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    if base.get("benchmark") != cand.get("benchmark"):
+        sys.exit(f"error: benchmark mismatch: {base.get('benchmark')!r} vs "
+                 f"{cand.get('benchmark')!r}")
+
+    cmp = Comparison(args.threshold)
+
+    base_derived = base.get("derived", {}) or {}
+    cand_derived = cand.get("derived", {}) or {}
+    for name, value in base_derived.items():
+        if name not in cand_derived:
+            cmp.missing("derived", name, gated=True)
+        else:
+            cmp.compare_metric("derived", name, value, cand_derived[name],
+                               gated=True)
+    for name in cand_derived:
+        if name not in base_derived:
+            cmp.added("derived", name)
+
+    gate_rows = args.gate == "all"
+    base_rows = indexed_rows(base.get("results", []) or [])
+    cand_rows = indexed_rows(cand.get("results", []) or [])
+    for (key, occurrence), row in base_rows.items():
+        label = "/".join(v for _, v in key) or "(unlabeled)"
+        if occurrence:
+            label += f"#{occurrence}"
+        match = cand_rows.get((key, occurrence))
+        if match is None:
+            cmp.missing(f"row[{label}]", "*", gated=gate_rows)
+            continue
+        for field, value in row.items():
+            if isinstance(value, str):
+                continue
+            if field not in match:
+                cmp.missing(f"row[{label}]", field, gated=gate_rows)
+            else:
+                cmp.compare_metric(f"row[{label}]", field, value,
+                                   match[field], gated=gate_rows)
+    for (key, occurrence) in cand_rows:
+        if (key, occurrence) not in base_rows:
+            label = "/".join(v for _, v in key) or "(unlabeled)"
+            cmp.added(f"row[{label}]", "*")
+
+    print(f"bench_compare: {base['benchmark']}  "
+          f"(threshold {args.threshold * 100:.0f}%, gate={args.gate})")
+    for line in cmp.lines:
+        print(line)
+    if cmp.gating_failures:
+        print(f"\nFAIL: {len(cmp.gating_failures)} regression(s):",
+              file=sys.stderr)
+        for failure in cmp.gating_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nOK: no gated regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
