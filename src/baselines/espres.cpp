@@ -18,6 +18,17 @@ Time EspresSwitch::handle(Time now, const net::FlowMod& mod) {
   return window_deadline_;
 }
 
+Time EspresSwitch::handle_batch(Time now, net::FlowModBatch& batch) {
+  obs_batch_size_.record(batch.size());
+  Time barrier = now;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Time done = handle(now, batch.mod(i));
+    batch.complete(i, done);
+    if (done > barrier) barrier = done;
+  }
+  return barrier;
+}
+
 void EspresSwitch::tick(Time now) {
   if (!pending_.empty() && now >= window_deadline_) flush(now);
 }

@@ -25,6 +25,10 @@ class EspresSwitch final : public SwitchBackend {
                Duration batch_window = from_millis(10));
 
   Time handle(Time now, const net::FlowMod& mod) override;
+  /// The transaction joins the current scheduling window as one unit:
+  /// every insert lands in the same flush (completing at the window
+  /// deadline); deletes/modifies pass through at per-op cost.
+  Time handle_batch(Time now, net::FlowModBatch& batch) override;
   void tick(Time now) override;
   std::optional<net::Rule> lookup(net::Ipv4Address addr) override;
   std::string_view name() const override { return "ESPRES"; }

@@ -17,6 +17,11 @@ Time HermesBackend::handle(Time now, const net::FlowMod& mod) {
   return agent_.handle(now, mod);
 }
 
+Time HermesBackend::handle_batch(Time now, net::FlowModBatch& batch) {
+  obs_batch_size_.record(batch.size());
+  return agent_.handle_batch(now, batch);
+}
+
 std::unique_ptr<HermesBackend> make_hermes_simple(
     const tcam::SwitchModel& model, int tcam_capacity, double threshold,
     core::HermesConfig base_config) {

@@ -18,6 +18,9 @@ class HermesBackend final : public SwitchBackend {
                 std::string label = "Hermes");
 
   Time handle(Time now, const net::FlowMod& mod) override;
+  /// Delegates to HermesAgent::handle_batch: one Gate Keeper admission,
+  /// one partition-planning snapshot, one optimized shadow write.
+  Time handle_batch(Time now, net::FlowModBatch& batch) override;
   void tick(Time now) override { agent_.tick(now); }
   std::optional<net::Rule> lookup(net::Ipv4Address addr) override {
     return agent_.lookup(addr);

@@ -12,6 +12,21 @@ Time PlainSwitch::handle(Time now, const net::FlowMod& mod) {
   return done;
 }
 
+Time PlainSwitch::handle_batch(Time now, net::FlowModBatch& batch) {
+  obs_batch_size_.record(batch.size());
+  Time barrier = now;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const net::FlowMod& mod = batch.mod(i);
+    tcam::ApplyResult result;
+    Time done = asic_.submit(now, 0, mod, &result);
+    if (mod.type == net::FlowModType::kInsert)
+      rit_samples_.push_back(done - now);
+    batch.complete(i, done, result.ok);
+    if (done > barrier) barrier = done;
+  }
+  return barrier;
+}
+
 std::optional<net::Rule> PlainSwitch::lookup(net::Ipv4Address addr) {
   return asic_.lookup(addr);
 }

@@ -17,6 +17,10 @@ class PlainSwitch final : public SwitchBackend {
   PlainSwitch(const tcam::SwitchModel& model, int tcam_capacity);
 
   Time handle(Time now, const net::FlowMod& mod) override;
+  /// An unmodified switch has no transactional support: mods apply
+  /// sequentially at per-op cost (identical latencies to handle()), but
+  /// each result slot gets the real per-op outcome.
+  Time handle_batch(Time now, net::FlowModBatch& batch) override;
   void tick(Time /*now*/) override {}
   std::optional<net::Rule> lookup(net::Ipv4Address addr) override;
   std::string_view name() const override { return name_; }

@@ -3,12 +3,15 @@
 // baselines (Tango, ESPRES) and a plain unmodified switch (Section 8.3).
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string_view>
 #include <vector>
 
+#include "net/flow_mod_batch.h"
 #include "net/rule.h"
 #include "net/time.h"
+#include "obs/metrics.h"
 
 namespace hermes::baselines {
 
@@ -19,6 +22,26 @@ class SwitchBackend {
   /// Applies one control-plane action arriving at `now`; returns its
   /// completion time (>= now).
   virtual Time handle(Time now, const net::FlowMod& mod) = 0;
+
+  /// Applies a whole flow-mod transaction arriving at `now`, filling the
+  /// batch's per-mod result slots; returns the install barrier (max
+  /// completion, >= now).
+  ///
+  /// The default implementation loops handle() over the mods in batch
+  /// order — same costs as submitting them one by one, but with per-mod
+  /// completions recorded. Backends with a native batch path (one
+  /// admission decision, one optimized TCAM write, one scheduling
+  /// window) override it.
+  virtual Time handle_batch(Time now, net::FlowModBatch& batch) {
+    obs_batch_size_.record(batch.size());
+    Time barrier = now;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Time done = handle(now, batch.mod(i));
+      batch.complete(i, done);
+      if (done > barrier) barrier = done;
+    }
+    return barrier;
+  }
 
   /// Periodic background hook (batch flushes, Hermes epochs/migration).
   /// Call with non-decreasing `now`.
@@ -32,6 +55,13 @@ class SwitchBackend {
   /// One rule-installation-time sample per controller-visible insert.
   virtual const std::vector<Duration>& rit_samples() const = 0;
   virtual void clear_rit_samples() = 0;
+
+ protected:
+  /// Transaction sizes reaching this layer, shared across backends via the
+  /// process-attached registry (detached no-op handle otherwise).
+  /// Overrides of handle_batch record into it too.
+  obs::Histogram obs_batch_size_ =
+      obs::attached_histogram("backend.batch_size");
 };
 
 }  // namespace hermes::baselines

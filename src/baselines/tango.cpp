@@ -39,6 +39,17 @@ Time TangoSwitch::handle(Time now, const net::FlowMod& mod) {
   return now;
 }
 
+Time TangoSwitch::handle_batch(Time now, net::FlowModBatch& batch) {
+  obs_batch_size_.record(batch.size());
+  Time barrier = now;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Time done = handle(now, batch.mod(i));
+    batch.complete(i, done);
+    if (done > barrier) barrier = done;
+  }
+  return barrier;
+}
+
 void TangoSwitch::tick(Time now) {
   if (!pending_.empty() && now >= window_deadline_) flush(now);
 }

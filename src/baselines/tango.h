@@ -30,6 +30,10 @@ class TangoSwitch final : public SwitchBackend {
               Duration batch_window = from_millis(10));
 
   Time handle(Time now, const net::FlowMod& mod) override;
+  /// The transaction joins the current scheduling window as one unit:
+  /// every insert is rewritten and flushed with the same schedule
+  /// (completing at the window deadline); deletes/modifies pass through.
+  Time handle_batch(Time now, net::FlowModBatch& batch) override;
   void tick(Time now) override;
   std::optional<net::Rule> lookup(net::Ipv4Address addr) override;
   std::string_view name() const override { return "Tango"; }

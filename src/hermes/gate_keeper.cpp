@@ -43,6 +43,14 @@ bool TokenBucket::try_take(Time now) {
   return false;
 }
 
+int TokenBucket::try_take_n(Time now, int n) {
+  if (n <= 0) return 0;
+  refill(now);
+  int taken = std::min(n, static_cast<int>(std::floor(tokens_)));
+  tokens_ -= static_cast<double>(taken);
+  return taken;
+}
+
 double TokenBucket::available(Time now) const {
   double elapsed_s = now > last_refill_ ? to_seconds(now - last_refill_) : 0;
   return std::min(burst_, tokens_ + elapsed_s * rate_);
@@ -62,6 +70,7 @@ GateKeeper::GateKeeper(const HermesConfig& config, double token_rate,
   lowest_priority_ = obs_->counter("gate.lowest_priority");
   shadow_full_ = obs_->counter("gate.shadow_full");
   tokens_ = obs_->gauge("gate.tokens");
+  batch_admitted_ = obs_->histogram("gate.batch_admitted");
 }
 
 const GateKeeperStats& GateKeeper::stats() const {
@@ -106,6 +115,58 @@ Route GateKeeper::route_insert(Time now, const net::Rule& rule,
   obs::trace_event(
       obs::admission_event(now, static_cast<std::uint8_t>(route)));
   return route;
+}
+
+std::vector<Route> GateKeeper::route_insert_batch(
+    Time now, std::span<const net::Rule> rules, const RouteContext& ctx) {
+  if (rules.empty()) return {};  // no decision made, nothing recorded
+  std::vector<Route> routes(rules.size(), Route::kMainUnmatched);
+  // Pass 1: every check except the token bucket, in batch order, against a
+  // running capacity view — each tentatively-guaranteed rule claims
+  // ctx.pieces_needed shadow slots so later rules see the remainder.
+  std::vector<std::size_t> token_candidates;
+  token_candidates.reserve(rules.size());
+  int shadow_free = ctx.shadow_free;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const net::Rule& rule = rules[i];
+    if (config_->predicate && !config_->predicate(rule)) {
+      routes[i] = Route::kMainUnmatched;
+    } else if (config_->lowest_priority_optimization && !ctx.main_full &&
+               (ctx.main_empty || rule.priority <= ctx.main_min_priority)) {
+      routes[i] = Route::kMainLowestPrio;
+    } else if (ctx.pieces_needed > shadow_free) {
+      routes[i] = Route::kMainShadowFull;
+    } else {
+      shadow_free -= ctx.pieces_needed;
+      routes[i] = Route::kGuaranteed;
+      token_candidates.push_back(i);
+    }
+  }
+  // Pass 2: ONE token-bucket evaluation for the whole transaction. The
+  // bucket is consulted last (rules rejected above burn no budget) and the
+  // partial-admission split is deterministic: the first `taken` candidates
+  // in batch order stay guaranteed, the tail goes over-rate.
+  int taken =
+      bucket_.try_take_n(now, static_cast<int>(token_candidates.size()));
+  for (std::size_t j = static_cast<std::size_t>(taken);
+       j < token_candidates.size(); ++j) {
+    routes[token_candidates[j]] = Route::kMainOverRate;
+  }
+  for (Route route : routes) {
+    switch (route) {
+      case Route::kGuaranteed: guaranteed_.inc(); break;
+      case Route::kMainUnmatched: unmatched_.inc(); break;
+      case Route::kMainOverRate: over_rate_.inc(); break;
+      case Route::kMainLowestPrio: lowest_priority_.inc(); break;
+      case Route::kMainShadowFull: shadow_full_.inc(); break;
+    }
+    obs::trace_event(
+        obs::admission_event(now, static_cast<std::uint8_t>(route)));
+  }
+  tokens_.set(
+      static_cast<std::int64_t>(std::floor(bucket_.available(now))));
+  batch_admitted_.record(static_cast<std::uint64_t>(taken));
+  return routes;
 }
 
 }  // namespace hermes::core

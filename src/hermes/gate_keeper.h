@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "hermes/config.h"
 #include "net/rule.h"
@@ -28,6 +30,12 @@ class TokenBucket {
 
   /// Takes one token if available at `now`; false = over-rate.
   bool try_take(Time now);
+
+  /// Takes up to `n` tokens in ONE evaluation at `now` (one refill, one
+  /// debit) and returns how many were taken: min(n, floor(tokens)).
+  /// Equivalent to n successive try_take(now) calls — refill at a fixed
+  /// `now` is idempotent — but makes batch admission a single decision.
+  int try_take_n(Time now, int n);
 
   /// Tokens available at `now` (without consuming).
   double available(Time now) const;
@@ -85,6 +93,22 @@ class GateKeeper {
   Route route_insert(Time now, const net::Rule& rule,
                      const RouteContext& ctx);
 
+  /// Routing decisions for a whole batch arriving at `now`, under ONE
+  /// token-bucket evaluation (the transaction is one controller request,
+  /// so it debits admitted-rate budget once, not per rule).
+  ///
+  /// Per-rule checks run first against a running view of `ctx`
+  /// (`shadow_free` decrements as rules tentatively claim slots, with
+  /// `ctx.pieces_needed` slots per rule); then the bucket is consulted
+  /// once for the tentatively-guaranteed count. If fewer tokens are
+  /// available, the split is deterministic: the FIRST `taken` such rules
+  /// (batch order) stay guaranteed, the rest route kMainOverRate.
+  /// Per-reason counters, the tokens gauge, and per-rule admission trace
+  /// events match the per-op path.
+  std::vector<Route> route_insert_batch(Time now,
+                                        std::span<const net::Rule> rules,
+                                        const RouteContext& ctx);
+
   /// Thin view over the registry counters (rebuilt per call; take a copy
   /// if you need a frozen reading).
   const GateKeeperStats& stats() const;
@@ -102,6 +126,7 @@ class GateKeeper {
   obs::Counter lowest_priority_;
   obs::Counter shadow_full_;
   obs::Gauge tokens_;  // floor of the bucket level after each decision
+  obs::Histogram batch_admitted_;  // guaranteed rules per batch decision
   mutable GateKeeperStats stats_view_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <unordered_set>
 
 namespace hermes::core {
 
@@ -154,6 +155,205 @@ Time HermesAgent::handle(Time now, const net::FlowMod& mod) {
       return modify(now, mod.rule);
   }
   return now;
+}
+
+Time HermesAgent::handle_batch(Time now, net::FlowModBatch& batch) {
+  Time barrier = now;
+  std::vector<std::size_t> run;
+  std::unordered_set<net::RuleId> run_ids;
+  auto flush = [&] {
+    if (run.empty()) return;
+    barrier = std::max(barrier, flush_insert_run(now, batch, run));
+    run.clear();
+    run_ids.clear();
+  };
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const net::FlowMod& mod = batch.mod(i);
+    if (mod.type == net::FlowModType::kInsert &&
+        !store_.contains(mod.rule.id) && run_ids.count(mod.rule.id) == 0) {
+      run.push_back(i);
+      run_ids.insert(mod.rule.id);
+      continue;
+    }
+    // A delete/modify — or an insert with modify semantics — breaks the
+    // run: flush buffered inserts first so batch order is preserved, then
+    // apply this mod per-op.
+    flush();
+    bool existed = store_.contains(mod.rule.id);
+    Time done = handle(now, mod);
+    bool ok = mod.type == net::FlowModType::kInsert
+                  ? store_.contains(mod.rule.id)
+                  : existed;
+    batch.complete(i, done, ok);
+    barrier = std::max(barrier, done);
+  }
+  flush();
+  return barrier;
+}
+
+Time HermesAgent::flush_insert_run(Time now, net::FlowModBatch& batch,
+                                   const std::vector<std::size_t>& run) {
+  if (run.size() == 1) {
+    // Common case (and the fig01/fig09 workloads): identical to the
+    // per-op entry point.
+    std::size_t i = run.front();
+    Time done = insert(now, batch.mod(i).rule);
+    batch.complete(i, done, store_.contains(batch.mod(i).rule.id));
+    return done;
+  }
+
+  std::vector<net::Rule> rules;
+  rules.reserve(run.size());
+  for (std::size_t i : run) {
+    const net::Rule& rule = batch.mod(i).rule;
+    assert(rule.id < kPieceIdBase && "logical rule ids must be < 2^32");
+    rules.push_back(rule);
+    m_.inserts.inc();
+  }
+
+  const tcam::TcamTable& shadow = asic_.slice(kShadow);
+  const tcam::TcamTable& main = asic_.slice(kMain);
+  RouteContext ctx;
+  ctx.shadow_free = shadow.capacity() - shadow.occupancy();
+  ctx.pieces_needed = 1;  // provisional; refined after partitioning
+  ctx.main_min_priority = main_min_priority();
+  ctx.main_empty = main.empty();
+  ctx.main_full = main.full();
+  std::vector<Route> routes =
+      gate_keeper_->route_insert_batch(now, rules, ctx);
+
+  // Plan partitioning for every admitted rule against ONE main-table
+  // snapshot: fallback main inserts are deferred until after the shadow
+  // batch, so main_index_ does not move under the planner.
+  struct Planned {
+    std::size_t run_pos = 0;          ///< index into run/rules
+    std::vector<net::Rule> pieces;
+    bool partitioned = false;
+    std::vector<net::RuleId> blockers;
+    std::size_t first_piece = 0;      ///< offset into the combined batch
+  };
+  std::vector<Planned> planned;
+  std::vector<std::size_t> fallback;  // run positions -> insert_to_main
+  std::vector<bool> fallback_violation;
+  int shadow_free = ctx.shadow_free;
+  Time barrier = now;
+  for (std::size_t pos = 0; pos < run.size(); ++pos) {
+    const net::Rule& rule = rules[pos];
+    if (routes[pos] != Route::kGuaranteed) {
+      fallback.push_back(pos);
+      fallback_violation.push_back(routes[pos] == Route::kMainShadowFull);
+      continue;
+    }
+    PartitionResult partition =
+        partition_new_rule(rule, main_index_, config_.merge_partitions);
+    if (partition.redundant) {
+      // Figure 5 (a): handled entirely in agent software.
+      m_.redundant_inserts.inc();
+      std::vector<net::RuleId> blockers;
+      for (net::RuleId pid : partition.cut_against)
+        if (auto lid = store_.logical_of(pid)) blockers.push_back(*lid);
+      store_.add(LogicalRule{rule, Placement::kMain, {}, true,
+                             std::move(blockers)});
+      record_rit(0, 0);
+      batch.complete(run[pos], now, true);
+      continue;
+    }
+    if (static_cast<int>(partition.pieces.size()) > shadow_free) {
+      // Shadow cannot absorb the pieces: guarantee missed, fall back.
+      m_.violations.inc();
+      fallback.push_back(pos);
+      fallback_violation.push_back(false);
+      continue;
+    }
+    shadow_free -= static_cast<int>(partition.pieces.size());
+    Planned p;
+    p.run_pos = pos;
+    p.partitioned = !(partition.pieces.size() == 1 &&
+                      partition.pieces[0] == rule.match);
+    if (!p.partitioned) {
+      p.pieces.push_back(rule);  // keep the controller's id for 1:1
+    } else {
+      p.pieces = materialize_partitions(rule, partition, piece_id_counter_);
+      piece_id_counter_ += p.pieces.size();
+    }
+    for (net::RuleId pid : partition.cut_against)
+      if (auto lid = store_.logical_of(pid)) p.blockers.push_back(*lid);
+    planned.push_back(std::move(p));
+  }
+
+  // ONE optimized shadow write for every planned piece.
+  std::vector<net::Rule> all_pieces;
+  for (Planned& p : planned) {
+    p.first_piece = all_pieces.size();
+    all_pieces.insert(all_pieces.end(), p.pieces.begin(), p.pieces.end());
+  }
+  if (!all_pieces.empty()) {
+    tcam::Asic::BatchResult bresult;
+    Time done =
+        asic_.submit_batch_insert(now, kShadow, all_pieces, &bresult);
+    obs_shadow_batch_pieces_.record(all_pieces.size());
+    // The batch write is one control-plane action on the TCAM; judge the
+    // guarantee on its channel occupation once, like a migration batch.
+    note_guaranteed_latency(bresult.latency);
+    m_.worst_guaranteed_latency_ns.set_max(
+        static_cast<std::int64_t>(done - now));
+    const std::size_t landed = static_cast<std::size_t>(bresult.inserted);
+    for (const Planned& p : planned) {
+      const net::Rule& rule = rules[p.run_pos];
+      const std::size_t end = p.first_piece + p.pieces.size();
+      if (end <= landed) {
+        for (const net::Rule& piece : p.pieces) shadow_index_.insert(piece);
+        std::vector<net::RuleId> piece_ids;
+        piece_ids.reserve(p.pieces.size());
+        for (const net::Rule& piece : p.pieces)
+          piece_ids.push_back(piece.id);
+        std::vector<net::RuleId> blockers = p.blockers;
+        const std::size_t blocker_count = blockers.size();
+        store_.add(LogicalRule{rule, Placement::kShadow,
+                               std::move(piece_ids), p.partitioned,
+                               std::move(blockers)});
+        m_.guaranteed_inserts.inc();
+        m_.partition_pieces.inc(p.pieces.size());
+        arrivals_this_epoch_ += static_cast<double>(p.pieces.size());
+        if (p.partitioned) {
+          obs::trace_event(obs::partition_expand_event(
+              now, static_cast<int>(p.pieces.size()),
+              static_cast<int>(blocker_count)));
+        }
+        // Amortize the batch channel occupation over its pieces so the
+        // per-insert op-latency samples still sum to the channel time.
+        Duration amortized = static_cast<Duration>(
+            static_cast<std::uint64_t>(bresult.latency) * p.pieces.size() /
+            all_pieces.size());
+        record_rit(done - now, amortized);
+        batch.complete(run[p.run_pos], done, true);
+      } else {
+        // Defensive only (capacity and duplicate ids are pre-checked): a
+        // piece was rejected mid-batch. Roll this rule's landed siblings
+        // back out of the shadow slice and fall back to the main table.
+        std::vector<net::RuleId> landed_ids;
+        for (std::size_t j = p.first_piece; j < std::min(end, landed); ++j)
+          landed_ids.push_back(all_pieces[j].id);
+        asic_.submit_batch_delete(now, kShadow, landed_ids);
+        m_.violations.inc();
+        fallback.push_back(p.run_pos);
+        fallback_violation.push_back(false);
+      }
+    }
+    barrier = std::max(barrier, done);
+  }
+
+  // Deferred main-table fallbacks, in batch order. Each one runs
+  // repartition_shadow_overlaps, which restores joint-table equivalence
+  // for any shadow rule the new main rule masks.
+  for (std::size_t f = 0; f < fallback.size(); ++f) {
+    const std::size_t pos = fallback[f];
+    const net::Rule& rule = rules[pos];
+    Time done = insert_to_main(now, rule, fallback_violation[f]);
+    batch.complete(run[pos], done, store_.contains(rule.id));
+    barrier = std::max(barrier, done);
+  }
+  return barrier;
 }
 
 Time HermesAgent::insert(Time now, const net::Rule& rule) {

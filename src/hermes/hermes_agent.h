@@ -25,6 +25,7 @@
 #include "hermes/partition.h"
 #include "hermes/predictor.h"
 #include "hermes/rule_store.h"
+#include "net/flow_mod_batch.h"
 #include "net/rule.h"
 #include "net/time.h"
 #include "obs/metrics.h"
@@ -80,6 +81,17 @@ class HermesAgent {
   Time erase(Time now, net::RuleId logical_id);
   Time modify(Time now, const net::Rule& rule);
   Time handle(Time now, const net::FlowMod& mod);
+
+  /// Applies a whole flow-mod transaction. Maximal runs of fresh inserts
+  /// are admitted under ONE Gate Keeper batch decision, partitioned
+  /// against one main-table snapshot, and written to the shadow slice as
+  /// a single optimized ASIC batch (fallbacks route to main afterwards,
+  /// in batch order); deletes, modifies, and inserts with modify
+  /// semantics apply per-op in batch order. Fills each mod's result slot
+  /// and returns the install barrier (max completion). A one-mod run
+  /// takes the per-op path, so singleton batches are bit-identical to
+  /// handle().
+  Time handle_batch(Time now, net::FlowModBatch& batch);
 
   /// Advances the Rule Manager clock: closes prediction epochs that ended
   /// at or before `now` and runs migration when the trigger fires.
@@ -152,6 +164,10 @@ class HermesAgent {
   // --- Gate Keeper path helpers (hermes_agent.cpp) ------------------------
   Time insert_guaranteed(Time now, const net::Rule& rule,
                          PartitionResult partition);
+  /// Applies one maximal run of fresh inserts from `batch` (indices in
+  /// `run`, batch order) through the batched guaranteed path.
+  Time flush_insert_run(Time now, net::FlowModBatch& batch,
+                        const std::vector<std::size_t>& run);
   Time insert_to_main(Time now, const net::Rule& rule, bool count_violation);
 
   /// A higher-priority rule landed in main: cut any overlapping
@@ -246,6 +262,8 @@ class HermesAgent {
       obs::attached_histogram("migration.batch_rules");
   obs::Histogram obs_migration_pieces_ =
       obs::attached_histogram("migration.batch_pieces");
+  obs::Histogram obs_shadow_batch_pieces_ =
+      obs::attached_histogram("agent.shadow_batch_pieces");
 };
 
 }  // namespace hermes::core

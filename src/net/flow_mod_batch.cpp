@@ -1,0 +1,48 @@
+#include "net/flow_mod_batch.h"
+
+#include <algorithm>
+
+namespace hermes::net {
+
+Time FlowModBatch::barrier(Time floor) const {
+  Time latest = floor;
+  for (const ModResult& r : results_) {
+    if (r.status != ModStatus::kPending)
+      latest = std::max(latest, r.completion);
+  }
+  return latest;
+}
+
+std::size_t FlowModBatch::applied_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(results_.begin(), results_.end(), [](const ModResult& r) {
+        return r.status == ModStatus::kApplied;
+      }));
+}
+
+std::size_t FlowModBatch::failed_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(results_.begin(), results_.end(), [](const ModResult& r) {
+        return r.status == ModStatus::kFailed;
+      }));
+}
+
+std::string to_string(const FlowModBatch& batch) {
+  std::size_t inserts = 0, deletes = 0, modifies = 0;
+  for (const FlowMod& m : batch.mods()) {
+    switch (m.type) {
+      case FlowModType::kInsert: ++inserts; break;
+      case FlowModType::kDelete: ++deletes; break;
+      case FlowModType::kModify: ++modifies; break;
+    }
+  }
+  std::string out = "FlowModBatch{" + std::to_string(batch.size()) + " mods: ";
+  out += std::to_string(inserts) + " ins, ";
+  out += std::to_string(deletes) + " del, ";
+  out += std::to_string(modifies) + " mod; ";
+  out += std::to_string(batch.applied_count()) + " applied, ";
+  out += std::to_string(batch.failed_count()) + " failed}";
+  return out;
+}
+
+}  // namespace hermes::net

@@ -1,0 +1,105 @@
+// A flow-mod batch transaction: the unit of batched control-plane work.
+//
+// Real controllers install a path update as one coordinated multi-rule
+// batch rather than dribbling FlowMods one at a time (ez-Segway-style
+// update planning), and switch agents amortize TCAM write cost across the
+// batch. FlowModBatch is the value type that carries such a transaction
+// through every layer: the TE app fills it, SwitchBackend::handle_batch
+// consumes it, and each mod's result slot is filled in place so the
+// caller can read per-rule completion times and compute install barriers
+// ("the flow moves when the LAST switch finishes", Figure 1).
+//
+// The type is a plain value: mods are stored contiguously and exposed as
+// std::span views, so backends can slice insert runs out of a mixed
+// batch without copying.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/rule.h"
+#include "net/time.h"
+
+namespace hermes::net {
+
+/// Outcome slot for one mod inside a batch transaction.
+enum class ModStatus : std::uint8_t {
+  kPending,  ///< not yet processed by a backend
+  kApplied,  ///< accepted (table mutated, or queued with a known deadline)
+  kFailed,   ///< rejected (table full, unknown id, ...)
+};
+
+struct ModResult {
+  ModStatus status = ModStatus::kPending;
+  Time completion = 0;  ///< when the mod's effect is live (unset if pending)
+
+  friend constexpr bool operator==(const ModResult&,
+                                   const ModResult&) = default;
+};
+
+class FlowModBatch {
+ public:
+  FlowModBatch() = default;
+  explicit FlowModBatch(std::vector<FlowMod> mods)
+      : mods_(std::move(mods)), results_(mods_.size()) {}
+
+  // --- Building ------------------------------------------------------------
+  std::size_t push(FlowMod mod) {
+    mods_.push_back(std::move(mod));
+    results_.emplace_back();
+    return mods_.size() - 1;
+  }
+  std::size_t insert(const Rule& rule) {
+    return push({FlowModType::kInsert, rule});
+  }
+  std::size_t erase(RuleId id) {
+    return push({FlowModType::kDelete, Rule{id, 0, {}, {}}});
+  }
+  std::size_t modify(const Rule& rule) {
+    return push({FlowModType::kModify, rule});
+  }
+  void reserve(std::size_t n) {
+    mods_.reserve(n);
+    results_.reserve(n);
+  }
+  void clear() {
+    mods_.clear();
+    results_.clear();
+  }
+
+  // --- Reading -------------------------------------------------------------
+  std::size_t size() const { return mods_.size(); }
+  bool empty() const { return mods_.empty(); }
+  const FlowMod& mod(std::size_t i) const { return mods_[i]; }
+  std::span<const FlowMod> mods() const { return mods_; }
+  const ModResult& result(std::size_t i) const { return results_[i]; }
+  std::span<const ModResult> results() const { return results_; }
+
+  // --- Result slots (filled by backends) -----------------------------------
+  void complete(std::size_t i, Time completion, bool ok = true) {
+    results_[i] = {ok ? ModStatus::kApplied : ModStatus::kFailed, completion};
+  }
+  /// Clears every result slot back to pending (reusing the mod list).
+  void reset_results() {
+    results_.assign(mods_.size(), ModResult{});
+  }
+
+  /// The install barrier: the latest completion among processed mods
+  /// (`floor` when none has been processed yet).
+  Time barrier(Time floor = 0) const;
+
+  /// Processed mods whose status is kApplied.
+  std::size_t applied_count() const;
+  /// Processed mods whose status is kFailed.
+  std::size_t failed_count() const;
+
+ private:
+  std::vector<FlowMod> mods_;
+  std::vector<ModResult> results_;  // parallel to mods_
+};
+
+std::string to_string(const FlowModBatch& batch);
+
+}  // namespace hermes::net

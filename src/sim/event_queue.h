@@ -2,13 +2,13 @@
 // in scheduling order (a monotone sequence number breaks ties).
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
 
 #include "net/time.h"
+#include "obs/metrics.h"
 
 namespace hermes::sim {
 
@@ -16,9 +16,15 @@ class EventQueue {
  public:
   using Callback = std::function<void(Time)>;
 
-  /// Schedules `cb` at absolute time `t` (>= now()).
+  /// Schedules `cb` at absolute time `t`. A `t` in the past (a caller
+  /// reporting a completion that predates the current event, e.g. a
+  /// stale backend timestamp) is clamped to now() — time never runs
+  /// backwards — and counted on the sim.late_schedules counter.
   void schedule(Time t, Callback cb) {
-    assert(t >= now_);
+    if (t < now_) {
+      late_schedules_.inc();
+      t = now_;
+    }
     heap_.push(Entry{t, seq_++, std::move(cb)});
   }
 
@@ -69,6 +75,8 @@ class EventQueue {
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
   std::uint64_t seq_ = 0;
   Time now_ = 0;
+  obs::Counter late_schedules_ =
+      obs::attached_counter("sim.late_schedules");
 };
 
 }  // namespace hermes::sim

@@ -226,6 +226,7 @@ void Simulation::te_cycle(Time now) {
   });
 
   int moves_left = config_.max_moves_per_cycle;
+  std::vector<PlannedMove> planned;
   for (FlowId fid : active) {
     if (moves_left <= 0) break;
     int flow_idx = fluid_to_idx_.at(fid);
@@ -253,42 +254,82 @@ void Simulation::te_cycle(Time now) {
     double rate = network_.rate_bytes_per_s(fid);
     flow_util_delta(rate, flow.path, -1.0);
     flow_util_delta(rate, *best, +1.0);
-    start_move(now, flow_idx, *best);
+    planned.push_back({flow_idx, *best});
     --moves_left;
   }
+  install_moves(now, planned);
 }
 
-void Simulation::start_move(Time now, int flow_idx,
-                            const net::Path& new_path) {
-  ActiveFlow& flow = flows_[static_cast<std::size_t>(flow_idx)];
-  flow.move_in_progress = true;
-  int token = ++move_tokens_[flow_idx];
+void Simulation::install_moves(Time now,
+                               const std::vector<PlannedMove>& moves) {
+  if (moves.empty()) return;
 
-  std::vector<net::RuleId> new_rules;
-  std::vector<net::NodeId> new_switches;
-  Time done = now;
+  // Per-move bookkeeping destined for finish_move, plus each rule's slot
+  // in its switch's batch so the install barrier can be read back.
+  struct MoveInstall {
+    int flow_idx = 0;
+    int token = 0;
+    std::vector<net::RuleId> rules;
+    std::vector<net::NodeId> switches;
+    std::vector<std::pair<net::NodeId, std::size_t>> slots;
+  };
+
+  // Rule generation runs per (move, hop) in planned-move order — the same
+  // RNG draw and id sequence the per-op path used — while the flow-mods
+  // group into ONE transaction per switch (ordered by first appearance,
+  // preserving each switch's op order).
   std::uniform_int_distribution<int> prio(config_.rule_priority_min,
                                           config_.rule_priority_max);
-  for (std::size_t i = 0; i + 1 < new_path.size(); ++i) {
-    net::NodeId node = new_path[i];
-    if (topology_->node(node).kind != net::NodeKind::kSwitch) continue;
-    net::Rule rule{next_rule_id(), prio(rng_), flow_match(flow_idx),
-                   net::forward_to(static_cast<int>(new_path[i + 1]) % 48)};
-    new_rules.push_back(rule.id);
-    new_switches.push_back(node);
-    auto backend_it = backends_.find(node);
-    if (backend_it == backends_.end()) continue;  // perfect control plane
-    Time completed =
-        backend_it->second->handle(now, {net::FlowModType::kInsert, rule});
-    done = std::max(done, completed);
+  std::vector<net::NodeId> batch_order;
+  std::unordered_map<net::NodeId, net::FlowModBatch> batches;
+  std::vector<MoveInstall> installs;
+  installs.reserve(moves.size());
+  for (const PlannedMove& move : moves) {
+    ActiveFlow& flow = flows_[static_cast<std::size_t>(move.flow_idx)];
+    flow.move_in_progress = true;
+    MoveInstall inst;
+    inst.flow_idx = move.flow_idx;
+    inst.token = ++move_tokens_[move.flow_idx];
+    for (std::size_t i = 0; i + 1 < move.path.size(); ++i) {
+      net::NodeId node = move.path[i];
+      if (topology_->node(node).kind != net::NodeKind::kSwitch) continue;
+      net::Rule rule{
+          next_rule_id(), prio(rng_), flow_match(move.flow_idx),
+          net::forward_to(static_cast<int>(move.path[i + 1]) % 48)};
+      inst.rules.push_back(rule.id);
+      inst.switches.push_back(node);
+      if (backends_.find(node) == backends_.end()) continue;  // perfect CP
+      auto [it, fresh] = batches.try_emplace(node);
+      if (fresh) batch_order.push_back(node);
+      inst.slots.emplace_back(node, it->second.size());
+      it->second.insert(rule);
+    }
+    installs.push_back(std::move(inst));
   }
 
-  events_.schedule(std::max(done, now),
-                   [this, flow_idx, token, new_path, new_rules,
-                    new_switches](Time t) {
-                     finish_move(t, flow_idx, token, new_path, new_rules,
-                                 new_switches);
-                   });
+  for (net::NodeId node : batch_order) {
+    net::FlowModBatch& batch = batches.at(node);
+    obs_app_batch_size_.record(batch.size());
+    backends_.at(node)->handle_batch(now, batch);
+  }
+
+  // Install barrier per move: the flow switches over only when the LAST
+  // switch on its new path finishes (Figure 1 semantics), regardless of
+  // how the per-switch transactions interleaved.
+  for (std::size_t m = 0; m < installs.size(); ++m) {
+    MoveInstall& inst = installs[m];
+    Time done = now;
+    for (const auto& [node, slot] : inst.slots)
+      done = std::max(done, batches.at(node).result(slot).completion);
+    events_.schedule(done,
+                     [this, flow_idx = inst.flow_idx, token = inst.token,
+                      new_path = moves[m].path,
+                      new_rules = std::move(inst.rules),
+                      new_switches = std::move(inst.switches)](Time t) {
+                       finish_move(t, flow_idx, token, new_path, new_rules,
+                                   new_switches);
+                     });
+  }
 }
 
 void Simulation::finish_move(Time now, int flow_idx, int move_token,

@@ -118,11 +118,21 @@ class Simulation {
     std::vector<net::NodeId> rule_switches;
   };
 
+  /// One path move the TE cycle decided on; installed via install_moves.
+  struct PlannedMove {
+    int flow_idx = 0;
+    net::Path path;
+  };
+
   void start_flow(Time now, int job_id, const workloads::FlowSpec& spec);
   void complete_flow(Time now, FlowId fluid_id);
   void schedule_next_completion();
   void te_cycle(Time now);
-  void start_move(Time now, int flow_idx, const net::Path& new_path);
+  /// Installs a cycle's planned moves: ONE FlowModBatch per switch
+  /// (aggregating every move's rule for that switch), then one
+  /// install-barrier event per move — a flow moves only when the LAST
+  /// switch on its new path finishes (Figure 1 semantics).
+  void install_moves(Time now, const std::vector<PlannedMove>& moves);
   void finish_move(Time now, int flow_idx, int move_token,
                    const net::Path& new_path,
                    std::vector<net::RuleId> new_rules,
@@ -170,6 +180,9 @@ class Simulation {
   obs::Gauge obs_virtual_time_ns_ =
       obs::attached_gauge("sim.virtual_time_ns");
   obs::Gauge obs_wall_time_ns_ = obs::attached_gauge("sim.wall_time_ns");
+  /// Flow-mods per per-switch transaction issued by the TE app.
+  obs::Histogram obs_app_batch_size_ =
+      obs::attached_histogram("app.batch_size");
 };
 
 }  // namespace hermes::sim

@@ -69,13 +69,21 @@ std::optional<net::Rule> Asic::lookup(net::Ipv4Address addr) {
 Time Asic::submit_batch_insert(Time now, int slice_idx,
                                const std::vector<net::Rule>& rules,
                                BatchResult* result) {
+  // An empty batch is a no-op: no channel occupation, no accounting.
+  if (rules.empty()) {
+    if (result) *result = {0, 0};
+    return now;
+  }
   TcamTable& table = slice(slice_idx);
   int occupancy_before = table.occupancy();
-  int inserted = 0;
-  for (const net::Rule& r : rules) {
-    if (!table.insert(r).ok) break;
-    ++inserted;
-  }
+  // Single-pass placement with the sequential stop-at-first-failure
+  // contract: only the prefix of the span lands, but resident entries
+  // move at most once regardless of the batch size.
+  int inserted =
+      table
+          .insert_batch(rules, /*per_op=*/nullptr,
+                        /*stop_at_first_failure=*/true)
+          .inserted;
   Duration latency =
       model_->batch_insert_latency(occupancy_before, inserted);
   Time& channel = busy_until_[static_cast<std::size_t>(slice_idx)];
@@ -92,6 +100,11 @@ Time Asic::submit_batch_insert(Time now, int slice_idx,
 Time Asic::submit_batch_delete(Time now, int slice_idx,
                                const std::vector<net::RuleId>& ids,
                                BatchResult* result) {
+  // An empty batch is a no-op: no channel occupation, no accounting.
+  if (ids.empty()) {
+    if (result) *result = {0, 0};
+    return now;
+  }
   TcamTable& table = slice(slice_idx);
   int removed = 0;
   for (net::RuleId id : ids) {

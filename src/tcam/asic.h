@@ -74,13 +74,17 @@ class Asic {
   /// Inserts `rules` as one optimized batch (the migration fast path,
   /// Section 5.2): the whole batch occupies the slice's channel for
   /// SwitchModel::batch_insert_latency(..) rather than per-rule insert
-  /// costs. Rules that do not fit are skipped (reported via `result`).
+  /// costs, and the slice applies it as a single-pass placement
+  /// (TcamTable::insert_batch). The batch stops at the first rule that
+  /// does not fit — only the prefix lands (reported via `result`). An
+  /// empty batch is a no-op: returns `now` with zero channel occupation.
   Time submit_batch_insert(Time now, int slice_idx,
                            const std::vector<net::Rule>& rules,
                            BatchResult* result = nullptr);
 
   /// Deletes `ids` as one batch (the shadow-emptying step of migration);
-  /// missing ids are ignored. One channel occupation for the whole batch.
+  /// missing ids are ignored. One channel occupation for the whole batch;
+  /// an empty batch is a no-op with zero channel occupation.
   Time submit_batch_delete(Time now, int slice_idx,
                            const std::vector<net::RuleId>& ids,
                            BatchResult* result = nullptr);

@@ -1,6 +1,7 @@
 #include "tcam/tcam_table.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace hermes::tcam {
 
@@ -51,6 +52,95 @@ OpResult TcamTable::insert(const net::Rule& rule) {
   obs_inserts_.inc();
   obs_shifts_.inc(static_cast<std::uint64_t>(shifts));
   return {true, shifts};
+}
+
+TcamTable::BatchInsertResult TcamTable::insert_batch(
+    std::span<const net::Rule> rules, std::vector<OpResult>* per_op,
+    bool stop_at_first_failure) {
+  BatchInsertResult out;
+  if (per_op) {
+    per_op->clear();
+    per_op->resize(rules.size());  // unattempted slots read {false, 0}
+  }
+  if (rules.empty()) return out;
+  obs_batch_size_.record(rules.size());
+
+  // Acceptance pass: replay the sequential accept/fail decisions without
+  // touching the array. A rule fails exactly when the per-op insert would
+  // have: its id is resident or appeared earlier in the batch, or no slot
+  // is free at its turn.
+  std::vector<std::size_t> accepted;
+  accepted.reserve(rules.size());
+  std::unordered_set<net::RuleId> batch_ids;
+  int free_slots = capacity_ - occupancy();
+  // Sorted (ascending) priorities of already-accepted batch rules, for the
+  // sequential shift count: entries a later batch rule would have shifted
+  // include earlier batch rules of strictly lower priority.
+  std::vector<int> accepted_priorities;
+  std::vector<int> shifts_of(rules.size(), 0);
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const net::Rule& r = rules[i];
+    bool dup = priority_of_.count(r.id) > 0 || batch_ids.count(r.id) > 0;
+    if (dup || free_slots == 0) {
+      ++stats_.failed_inserts;
+      obs_failed_inserts_.inc();
+      ++out.failed;
+      if (stop_at_first_failure) break;
+      continue;
+    }
+    --free_slots;
+    batch_ids.insert(r.id);
+    auto pos = std::upper_bound(entries_.begin(), entries_.end(), r.priority,
+                                kPriorityDescUpper);
+    int below_resident = static_cast<int>(entries_.end() - pos);
+    auto lower = std::lower_bound(accepted_priorities.begin(),
+                                  accepted_priorities.end(), r.priority);
+    int below_batch = static_cast<int>(lower - accepted_priorities.begin());
+    shifts_of[i] = below_resident + below_batch;
+    accepted_priorities.insert(lower, r.priority);
+    accepted.push_back(i);
+    if (per_op) (*per_op)[i] = {true, shifts_of[i]};
+  }
+
+  // Placement pass: ONE backward merge. Stable-sort the accepted rules by
+  // descending priority (stability keeps batch arrival order within a
+  // priority level), then merge from the bottom of the array upward so
+  // every resident entry moves at most once. Residents of a priority equal
+  // to an incoming rule stay above it, matching the per-op upper_bound
+  // placement.
+  std::vector<std::size_t> order = accepted;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return rules[a].priority > rules[b].priority;
+                   });
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(entries_.size());
+  const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(order.size());
+  entries_.resize(static_cast<std::size_t>(n + k));
+  std::ptrdiff_t src = n - 1;
+  std::ptrdiff_t write = n + k - 1;
+  std::ptrdiff_t next = k - 1;
+  while (next >= 0) {
+    const net::Rule& incoming = rules[order[static_cast<std::size_t>(next)]];
+    if (src >= 0 && entries_[static_cast<std::size_t>(src)].priority <
+                        incoming.priority) {
+      entries_[static_cast<std::size_t>(write--)] =
+          entries_[static_cast<std::size_t>(src--)];
+    } else {
+      entries_[static_cast<std::size_t>(write--)] = incoming;
+      --next;
+    }
+  }
+
+  for (std::size_t i : accepted) {
+    priority_of_.emplace(rules[i].id, rules[i].priority);
+    out.total_shifts += static_cast<std::uint64_t>(shifts_of[i]);
+  }
+  out.inserted = static_cast<int>(k);
+  stats_.inserts += static_cast<std::uint64_t>(k);
+  stats_.total_shifts += out.total_shifts;
+  obs_inserts_.inc(static_cast<std::uint64_t>(k));
+  obs_shifts_.inc(out.total_shifts);
+  return out;
 }
 
 OpResult TcamTable::erase(net::RuleId id) {

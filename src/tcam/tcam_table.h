@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -70,6 +71,36 @@ class TcamTable {
   /// rule appends for free). Every entry below the insertion point shifts
   /// down one slot. Fails iff the table is full or the id already exists.
   OpResult insert(const net::Rule& rule);
+
+  /// Outcome of a batched insert: how many rules landed and the shifts
+  /// the hardware would have charged inserting them one at a time.
+  struct BatchInsertResult {
+    int inserted = 0;
+    int failed = 0;
+    std::uint64_t total_shifts = 0;
+  };
+
+  /// Inserts `rules` in one single-pass placement: the accepted rules are
+  /// merged into the entry array with ONE backward memmove-style sweep,
+  /// so each resident entry moves at most once instead of once per rule.
+  ///
+  /// Semantics are bit-identical to calling insert() per rule in batch
+  /// order — same final array, same per-rule shift counts, same stats —
+  /// only the bookkeeping cost changes. A rule fails exactly when the
+  /// sequential call would have (duplicate id, including duplicates
+  /// earlier in the batch, or no free slot at its turn).
+  ///
+  /// With `stop_at_first_failure` the batch mirrors a sequential loop
+  /// that breaks on the first failed insert (the Asic batch-write
+  /// contract: only the prefix lands): the first failing rule is charged
+  /// as a failed insert, later rules are not attempted and their per-op
+  /// slot reads {false, 0} without touching stats.
+  ///
+  /// `per_op`, when non-null, is resized to rules.size() and filled with
+  /// the OpResult each sequential insert would have returned.
+  BatchInsertResult insert_batch(std::span<const net::Rule> rules,
+                                 std::vector<OpResult>* per_op = nullptr,
+                                 bool stop_at_first_failure = false);
 
   /// Removes the rule with `id`. No charged movement (background
   /// compaction), hence `shifts` is always 0. Indexed slot location; the
@@ -146,6 +177,8 @@ class TcamTable {
       obs::attached_counter("tcam.failed_inserts");
   obs::Counter obs_shifts_ = obs::attached_counter("tcam.shifts");
   obs::Counter obs_lookups_ = obs::attached_counter("tcam.lookups");
+  obs::Histogram obs_batch_size_ =
+      obs::attached_histogram("tcam.batch_insert_size");
 };
 
 }  // namespace hermes::tcam

@@ -207,6 +207,124 @@ TEST(GateKeeper, BurstAboveRateOverflowsBucket) {
   EXPECT_EQ(rejected, 45);  // burst of 5 admitted, rest over-rate
 }
 
+TEST(TokenBucket, TryTakeNMatchesSequentialTakes) {
+  TokenBucket batched(10.0, 7.0);
+  TokenBucket sequential(10.0, 7.0);
+  Time now = from_millis(123);
+  EXPECT_EQ(batched.try_take_n(now, 4), 4);
+  int taken = 0;
+  for (int i = 0; i < 4; ++i) taken += sequential.try_take(now) ? 1 : 0;
+  EXPECT_EQ(taken, 4);
+  EXPECT_NEAR(batched.available(now), sequential.available(now), 1e-9);
+}
+
+TEST(TokenBucket, TryTakeNPartialTake) {
+  TokenBucket bucket(0.0, 2.5);  // no refill: only the burst is there
+  EXPECT_EQ(bucket.try_take_n(0, 5), 2);  // floor(2.5)
+  EXPECT_EQ(bucket.try_take_n(0, 5), 0);
+  EXPECT_NEAR(bucket.available(0), 0.5, 1e-9);
+}
+
+TEST(TokenBucket, TryTakeNZeroOrNegativeIsFree) {
+  TokenBucket bucket(0.0, 3.0);
+  EXPECT_EQ(bucket.try_take_n(0, 0), 0);
+  EXPECT_EQ(bucket.try_take_n(0, -4), 0);
+  EXPECT_NEAR(bucket.available(0), 3.0, 1e-9);
+}
+
+TEST(GateKeeperBatch, MatchesSequentialRoutesWhenTokensAmple) {
+  HermesConfig config;
+  GateKeeper batched(config, 1000, 100);
+  GateKeeper sequential(config, 1000, 100);
+  RouteContext ctx = busy_context();
+  std::vector<Rule> rules;
+  for (int i = 0; i < 8; ++i)
+    rules.push_back(make_rule(static_cast<net::RuleId>(i + 1),
+                              (i % 2) ? 9 : 3, "10.0.0.0/8"));
+  std::vector<Route> got = batched.route_insert_batch(0, rules, ctx);
+  ASSERT_EQ(got.size(), rules.size());
+  for (std::size_t i = 0; i < rules.size(); ++i)
+    EXPECT_EQ(got[i], sequential.route_insert(0, rules[i], ctx))
+        << "rule " << i;
+  EXPECT_EQ(batched.stats().guaranteed, sequential.stats().guaranteed);
+  EXPECT_EQ(batched.stats().lowest_priority,
+            sequential.stats().lowest_priority);
+}
+
+TEST(GateKeeperBatch, OneTokenEvaluationSplitsDeterministically) {
+  HermesConfig config;
+  // rate 0: only the burst of 2.5 tokens ever exists, so of 4 candidates
+  // exactly floor(2.5) = 2 can be guaranteed.
+  GateKeeper gk(config, /*rate=*/0.0, /*burst=*/2.5);
+  RouteContext ctx = busy_context();
+  std::vector<Rule> rules;
+  for (int i = 0; i < 4; ++i)
+    rules.push_back(make_rule(static_cast<net::RuleId>(i + 1), 9,
+                              "10.0.0.0/8"));
+  std::vector<Route> routes = gk.route_insert_batch(0, rules, ctx);
+  // Deterministic prefix split: the FIRST `taken` candidates in batch
+  // order stay guaranteed, the tail goes over-rate.
+  EXPECT_EQ(routes[0], Route::kGuaranteed);
+  EXPECT_EQ(routes[1], Route::kGuaranteed);
+  EXPECT_EQ(routes[2], Route::kMainOverRate);
+  EXPECT_EQ(routes[3], Route::kMainOverRate);
+  EXPECT_EQ(gk.stats().guaranteed, 2u);
+  EXPECT_EQ(gk.stats().over_rate, 2u);
+  EXPECT_EQ(gk.registry().histogram_summary("gate.batch_admitted").count,
+            1u);  // ONE batch decision, not four
+}
+
+TEST(GateKeeperBatch, NonTokenFallbacksDoNotSpendTokens) {
+  HermesConfig config;
+  config.predicate = match_prefix_within(*Prefix::parse("10.0.0.0/8"));
+  GateKeeper gk(config, /*rate=*/0.0, /*burst=*/1.0);
+  RouteContext ctx = busy_context();
+  std::vector<Rule> rules;
+  rules.push_back(make_rule(1, 9, "11.0.0.0/8"));   // unmatched
+  rules.push_back(make_rule(2, 5, "10.0.0.0/8"));   // lowest-prio append
+  rules.push_back(make_rule(3, 9, "10.0.0.0/9"));   // token candidate
+  std::vector<Route> routes = gk.route_insert_batch(0, rules, ctx);
+  EXPECT_EQ(routes[0], Route::kMainUnmatched);
+  EXPECT_EQ(routes[1], Route::kMainLowestPrio);
+  // The single token goes to the only real candidate, not the fallbacks.
+  EXPECT_EQ(routes[2], Route::kGuaranteed);
+  EXPECT_EQ(gk.stats().unmatched, 1u);
+  EXPECT_EQ(gk.stats().lowest_priority, 1u);
+  EXPECT_EQ(gk.stats().guaranteed, 1u);
+}
+
+TEST(GateKeeperBatch, RunningShadowFreeViewAcrossTheBatch) {
+  HermesConfig config;
+  config.lowest_priority_optimization = false;
+  GateKeeper gk(config, 1000, 100);
+  RouteContext ctx = busy_context();
+  ctx.shadow_free = 5;
+  ctx.pieces_needed = 2;  // each rule claims 2 shadow slots
+  std::vector<Rule> rules;
+  for (int i = 0; i < 4; ++i)
+    rules.push_back(make_rule(static_cast<net::RuleId>(i + 1), 9,
+                              "10.0.0.0/8"));
+  std::vector<Route> routes = gk.route_insert_batch(0, rules, ctx);
+  // 5 free slots at 2 pieces each: rules 0 and 1 fit (4 slots), rule 2
+  // would need slots 5..6 and spills, as does rule 3.
+  EXPECT_EQ(routes[0], Route::kGuaranteed);
+  EXPECT_EQ(routes[1], Route::kGuaranteed);
+  EXPECT_EQ(routes[2], Route::kMainShadowFull);
+  EXPECT_EQ(routes[3], Route::kMainShadowFull);
+  EXPECT_EQ(gk.stats().shadow_full, 2u);
+}
+
+TEST(GateKeeperBatch, EmptyBatchIsANoOp) {
+  HermesConfig config;
+  GateKeeper gk(config, 0.0, 1.0);
+  EXPECT_TRUE(gk.route_insert_batch(0, {}, busy_context()).empty());
+  EXPECT_EQ(gk.stats().guaranteed, 0u);
+  // No token was consumed and no batch decision was recorded.
+  EXPECT_NEAR(gk.bucket().available(0), 1.0, 1e-9);
+  EXPECT_EQ(gk.registry().histogram_summary("gate.batch_admitted").count,
+            0u);
+}
+
 TEST(Predicates, Helpers) {
   auto all = match_all();
   EXPECT_TRUE(all(make_rule(1, 0, "0.0.0.0/0")));

@@ -1,0 +1,112 @@
+// FlowModBatch: the batched-transaction value type.
+#include "net/flow_mod_batch.h"
+
+#include <gtest/gtest.h>
+
+namespace hermes::net {
+namespace {
+
+Rule make_rule(RuleId id, int priority) {
+  return Rule{id, priority,
+              Prefix(Ipv4Address(0x0A000000u +
+                                 (static_cast<std::uint32_t>(id) << 8)),
+                     24),
+              forward_to(1)};
+}
+
+TEST(FlowModBatch, BuildsMixedMods) {
+  FlowModBatch batch;
+  batch.reserve(3);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.insert(make_rule(1, 10)), 0u);
+  EXPECT_EQ(batch.erase(7), 1u);
+  EXPECT_EQ(batch.modify(make_rule(3, 20)), 2u);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.mod(0).type, FlowModType::kInsert);
+  EXPECT_EQ(batch.mod(1).type, FlowModType::kDelete);
+  EXPECT_EQ(batch.mod(1).rule.id, 7u);
+  EXPECT_EQ(batch.mod(2).type, FlowModType::kModify);
+  EXPECT_EQ(batch.mods().size(), 3u);
+}
+
+TEST(FlowModBatch, ResultSlotsStartPending) {
+  FlowModBatch batch;
+  batch.insert(make_rule(1, 10));
+  batch.insert(make_rule(2, 10));
+  for (const ModResult& r : batch.results()) {
+    EXPECT_EQ(r.status, ModStatus::kPending);
+    EXPECT_EQ(r.completion, 0);
+  }
+  EXPECT_EQ(batch.applied_count(), 0u);
+  EXPECT_EQ(batch.failed_count(), 0u);
+}
+
+TEST(FlowModBatch, CompleteFillsSlotsAndCounts) {
+  FlowModBatch batch;
+  batch.insert(make_rule(1, 10));
+  batch.insert(make_rule(2, 10));
+  batch.insert(make_rule(3, 10));
+  batch.complete(0, 100);
+  batch.complete(1, 250, /*ok=*/false);
+  EXPECT_EQ(batch.result(0).status, ModStatus::kApplied);
+  EXPECT_EQ(batch.result(0).completion, 100);
+  EXPECT_EQ(batch.result(1).status, ModStatus::kFailed);
+  EXPECT_EQ(batch.result(2).status, ModStatus::kPending);
+  EXPECT_EQ(batch.applied_count(), 1u);
+  EXPECT_EQ(batch.failed_count(), 1u);
+}
+
+TEST(FlowModBatch, BarrierIsMaxCompletionOverProcessedMods) {
+  FlowModBatch batch;
+  batch.insert(make_rule(1, 10));
+  batch.insert(make_rule(2, 10));
+  batch.insert(make_rule(3, 10));
+  EXPECT_EQ(batch.barrier(), 0);
+  EXPECT_EQ(batch.barrier(42), 42);  // floor when nothing processed
+  batch.complete(0, 100);
+  batch.complete(1, 300, /*ok=*/false);  // failed mods still bound time
+  EXPECT_EQ(batch.barrier(), 300);
+  EXPECT_EQ(batch.barrier(1000), 1000);
+}
+
+TEST(FlowModBatch, ResetResultsKeepsMods) {
+  FlowModBatch batch;
+  batch.insert(make_rule(1, 10));
+  batch.complete(0, 99);
+  batch.reset_results();
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.result(0).status, ModStatus::kPending);
+  EXPECT_EQ(batch.barrier(), 0);
+}
+
+TEST(FlowModBatch, ClearDropsEverything) {
+  FlowModBatch batch;
+  batch.insert(make_rule(1, 10));
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.results().size(), 0u);
+}
+
+TEST(FlowModBatch, VectorConstructorSizesResults) {
+  std::vector<FlowMod> mods{{FlowModType::kInsert, make_rule(1, 10)},
+                            {FlowModType::kDelete, make_rule(2, 0)}};
+  FlowModBatch batch(std::move(mods));
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.results().size(), 2u);
+  EXPECT_EQ(batch.result(1).status, ModStatus::kPending);
+}
+
+TEST(FlowModBatch, ToStringSummarizes) {
+  FlowModBatch batch;
+  batch.insert(make_rule(1, 10));
+  batch.erase(2);
+  batch.complete(0, 100);
+  std::string s = to_string(batch);
+  EXPECT_NE(s.find("2 mods"), std::string::npos);
+  EXPECT_NE(s.find("1 ins"), std::string::npos);
+  EXPECT_NE(s.find("1 del"), std::string::npos);
+  EXPECT_NE(s.find("1 applied"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hermes::net

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace hermes::sim {
 namespace {
 
@@ -64,6 +66,54 @@ TEST(EventQueue, RunNextOnEmptyReturnsFalse) {
   EventQueue q;
   EXPECT_FALSE(q.run_next());
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, LateScheduleClampsToNowAndCounts) {
+  obs::Registry reg;
+  obs::attach(&reg);
+  {
+    EventQueue q;
+    std::vector<Time> fired;
+    q.schedule(10, [&](Time) {
+      q.schedule(5, [&](Time t) { fired.push_back(t); });  // in the past
+    });
+    q.run_all();
+    ASSERT_EQ(fired.size(), 1u);   // never dropped, and fires...
+    EXPECT_EQ(fired[0], 10);       // ...at the clamped time, not t=5
+    EXPECT_EQ(q.now(), 10);        // the clock never ran backwards
+  }
+  obs::attach(nullptr);
+  EXPECT_EQ(reg.counter_value("sim.late_schedules"), 1u);
+}
+
+TEST(EventQueue, OnTimeSchedulesDoNotCountAsLate) {
+  obs::Registry reg;
+  obs::attach(&reg);
+  {
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&](Time now) {
+      q.schedule(now, [&](Time) { ++fired; });      // exactly now: fine
+      q.schedule(now + 5, [&](Time) { ++fired; });  // future: fine
+    });
+    q.run_all();
+    EXPECT_EQ(fired, 2);
+  }
+  obs::attach(nullptr);
+  EXPECT_EQ(reg.counter_value("sim.late_schedules"), 0u);
+}
+
+TEST(EventQueue, LateEventsPreserveScheduleOrderAtClampedTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(10, [&](Time) {
+    q.schedule(3, [&](Time) { order.push_back(1); });
+    q.schedule(1, [&](Time) { order.push_back(2); });
+    q.schedule(10, [&](Time) { order.push_back(3); });
+  });
+  q.run_all();
+  // All three land at t=10; the seq tie-break keeps scheduling order.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(EventQueue, RunAllRespectsCap) {

@@ -1,6 +1,7 @@
 // Batched TCAM update operations (the migration fast path, Section 5.2).
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "tcam/asic.h"
 
 namespace hermes::tcam {
@@ -82,6 +83,82 @@ TEST(AsicBatch, DeleteRemovesListedIdsOnly) {
   EXPECT_FALSE(asic.slice(0).contains(4));
   EXPECT_TRUE(asic.slice(0).contains(5));
   EXPECT_EQ(done, from_millis(1) + result.latency);
+}
+
+TEST(AsicBatch, EmptyInsertBatchIsNoOpWithZeroChannelOccupation) {
+  obs::Registry reg;
+  obs::attach(&reg);
+  {
+    Asic asic(pica8_p3290(), {100});
+    asic.apply(0, {net::FlowModType::kInsert, make_rule(1, 1)});
+    Time before = asic.busy_until(0);
+    Asic::BatchResult result{99, 99};
+    Time done = asic.submit_batch_insert(from_millis(5), 0, {}, &result);
+    EXPECT_EQ(done, from_millis(5));  // returns now, never queues
+    EXPECT_EQ(result.inserted, 0);
+    EXPECT_EQ(result.latency, 0);
+    EXPECT_EQ(asic.busy_until(0), before);
+    EXPECT_EQ(asic.slice(0).occupancy(), 1);
+  }
+  obs::attach(nullptr);
+  EXPECT_EQ(reg.counter_value("asic.batch_ops"), 0u);
+  EXPECT_EQ(reg.counter_value("asic.batch_rules"), 0u);
+}
+
+TEST(AsicBatch, EmptyDeleteBatchIsNoOpWithZeroChannelOccupation) {
+  obs::Registry reg;
+  obs::attach(&reg);
+  {
+    Asic asic(pica8_p3290(), {100});
+    asic.apply(0, {net::FlowModType::kInsert, make_rule(1, 1)});
+    Time before = asic.busy_until(0);
+    Asic::BatchResult result{99, 99};
+    Time done = asic.submit_batch_delete(from_millis(5), 0, {}, &result);
+    EXPECT_EQ(done, from_millis(5));
+    EXPECT_EQ(result.inserted, 0);
+    EXPECT_EQ(result.latency, 0);
+    EXPECT_EQ(asic.busy_until(0), before);
+    EXPECT_EQ(asic.slice(0).occupancy(), 1);
+  }
+  obs::attach(nullptr);
+  EXPECT_EQ(reg.counter_value("asic.batch_ops"), 0u);
+}
+
+TEST(AsicBatch, DeleteOfOnlyMissingIdsChargesNothingRemoved) {
+  Asic asic(pica8_p3290(), {100});
+  for (int i = 0; i < 5; ++i)
+    asic.apply(0, {net::FlowModType::kInsert,
+                   make_rule(static_cast<net::RuleId>(i + 1), 1)});
+  Asic::BatchResult result;
+  Time done = asic.submit_batch_delete(0, 0, {50, 60, 70}, &result);
+  EXPECT_EQ(result.inserted, 0);  // nothing matched
+  EXPECT_EQ(result.latency, pica8_p3290().batch_delete_latency(0));
+  EXPECT_EQ(asic.slice(0).occupancy(), 5);
+  EXPECT_EQ(done, result.latency);
+  EXPECT_TRUE(asic.slice(0).check_invariant());
+}
+
+TEST(AsicBatch, DeleteBatchResultMatchesPerOpDeletes) {
+  Asic batched(pica8_p3290(), {100});
+  Asic sequential(pica8_p3290(), {100});
+  for (int i = 0; i < 12; ++i) {
+    net::FlowMod ins{net::FlowModType::kInsert,
+                     make_rule(static_cast<net::RuleId>(i + 1), i % 3)};
+    batched.apply(0, ins);
+    sequential.apply(0, ins);
+  }
+  std::vector<net::RuleId> ids{3, 1, 99, 7, 7, 12};  // missing + repeated
+  Asic::BatchResult result;
+  batched.submit_batch_delete(0, 0, ids, &result);
+  int per_op_removed = 0;
+  for (net::RuleId id : ids) {
+    net::FlowMod del{net::FlowModType::kDelete, net::Rule{id, 0, {}, {}}};
+    if (sequential.apply(0, del).ok) ++per_op_removed;
+  }
+  EXPECT_EQ(result.inserted, per_op_removed);
+  EXPECT_EQ(batched.slice(0).rules_view(), sequential.slice(0).rules_view());
+  EXPECT_EQ(batched.slice(0).stats().deletes,
+            sequential.slice(0).stats().deletes);
 }
 
 TEST(AsicBatch, PerSliceChannelsAreIndependent) {

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py gating behavior.
+
+Runs the tool as a subprocess against temp BENCH json pairs and checks
+exit codes: 0 = ok, 1 = gated regression / missing / non-numeric metric.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, os.pardir, "tools", "bench_compare.py")
+
+
+def doc(derived=None, results=None):
+    return {
+        "schema_version": 1,
+        "benchmark": "unit_test_bench",
+        "derived": derived or {},
+        "results": results or [],
+    }
+
+
+def run_compare(base_doc, cand_doc, *extra_args):
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "base.json")
+        cand_path = os.path.join(tmp, "cand.json")
+        with open(base_path, "w", encoding="utf-8") as fh:
+            json.dump(base_doc, fh)
+        with open(cand_path, "w", encoding="utf-8") as fh:
+            json.dump(cand_doc, fh)
+        proc = subprocess.run(
+            [sys.executable, TOOL, base_path, cand_path, *extra_args],
+            capture_output=True, text=True)
+    return proc
+
+
+class BenchCompareTest(unittest.TestCase):
+    def test_identical_docs_pass(self):
+        d = doc(derived={"hermes_speedup": 4.0})
+        proc = run_compare(d, d)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_improvement_passes(self):
+        proc = run_compare(doc(derived={"hermes_speedup": 4.0}),
+                           doc(derived={"hermes_speedup": 5.0}))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_regression_beyond_threshold_fails(self):
+        proc = run_compare(doc(derived={"hermes_speedup": 4.0}),
+                           doc(derived={"hermes_speedup": 2.0}))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("regression", proc.stderr)
+
+    def test_lower_is_better_direction(self):
+        # No higher-is-better token in the name: a drop is an improvement.
+        proc = run_compare(doc(derived={"median_ns": 100.0}),
+                           doc(derived={"median_ns": 50.0}))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        proc = run_compare(doc(derived={"median_ns": 100.0}),
+                           doc(derived={"median_ns": 200.0}))
+        self.assertEqual(proc.returncode, 1)
+
+    def test_missing_derived_metric_fails(self):
+        proc = run_compare(doc(derived={"hermes_speedup": 4.0}),
+                           doc(derived={}))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("missing from", proc.stderr)
+
+    def test_non_numeric_derived_metric_fails(self):
+        # report.h serializes NaN/inf as null; that must gate, not skip.
+        proc = run_compare(doc(derived={"hermes_speedup": 4.0}),
+                           doc(derived={"hermes_speedup": None}))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("non-numeric", proc.stderr)
+
+    def test_non_numeric_row_field_reported_but_ungated_by_default(self):
+        base = doc(results=[{"case": "a", "ns": 10.0}])
+        cand = doc(results=[{"case": "a", "ns": None}])
+        proc = run_compare(base, cand)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("non-numeric", proc.stdout)
+
+    def test_non_numeric_row_field_fails_with_gate_all(self):
+        base = doc(results=[{"case": "a", "ns": 10.0}])
+        cand = doc(results=[{"case": "a", "ns": None}])
+        proc = run_compare(base, cand, "--gate", "all")
+        self.assertEqual(proc.returncode, 1)
+
+    def test_benchmark_name_mismatch_is_usage_error(self):
+        base = doc()
+        cand = dict(doc(), benchmark="other_bench")
+        proc = run_compare(base, cand)
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

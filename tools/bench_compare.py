@@ -20,8 +20,9 @@ The comparison has two scopes:
 
 Direction is inferred from the metric name: keys containing speedup /
 improvement / throughput / per_s / rate are higher-is-better; everything
-else is lower-is-better. A metric present in the baseline but missing from
-the candidate is a gating failure (it catches silently renamed keys).
+else is lower-is-better. A numeric baseline metric that is missing from the
+candidate, or non-numeric there (e.g. a NaN serialized as null), is a
+gating failure (it catches silently renamed or broken keys).
 
 Exit codes: 0 ok, 1 regression (or missing gated metric), 2 usage/load
 error.
@@ -42,6 +43,13 @@ HIGHER_IS_BETTER_TOKENS = ("speedup", "improvement", "throughput", "per_s",
 EPSILON = 1e-9
 
 
+def usage_error(message):
+    """Exit with the documented usage/load-error code (2), not sys.exit's
+    default 1 for string arguments."""
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
 def higher_is_better(key):
     lowered = key.lower()
     return any(token in lowered for token in HIGHER_IS_BETTER_TOKENS)
@@ -52,10 +60,10 @@ def load(path):
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
-        sys.exit(f"error: cannot load {path}: {exc}")
+        usage_error(f"cannot load {path}: {exc}")
     if doc.get("schema_version") != 1:
-        sys.exit(f"error: {path}: unsupported schema_version "
-                 f"{doc.get('schema_version')!r} (expected 1)")
+        usage_error(f"{path}: unsupported schema_version "
+                    f"{doc.get('schema_version')!r} (expected 1)")
     return doc
 
 
@@ -83,8 +91,18 @@ class Comparison:
         self.gating_failures = []
 
     def compare_metric(self, scope, name, base, cand, gated):
-        if not isinstance(base, (int, float)) or not isinstance(
-                cand, (int, float)):
+        if not isinstance(base, (int, float)):
+            return
+        if not isinstance(cand, (int, float)):
+            # A numeric baseline metric that turned non-numeric (e.g. a NaN
+            # serialized as null by report.h) is as broken as a missing key:
+            # surface it, and fail the gate in gated scopes.
+            self.lines.append(
+                f"!! {scope} {name}: non-numeric in candidate ({cand!r})")
+            if gated:
+                self.gating_failures.append(
+                    f"{scope} {name}: baseline {base:.6g}, non-numeric in "
+                    f"candidate ({cand!r})")
             return
         if abs(base) < EPSILON:
             self.lines.append(f"  ~ {scope} {name}: baseline ~0, skipped")
@@ -134,8 +152,8 @@ def main():
     base = load(args.baseline)
     cand = load(args.candidate)
     if base.get("benchmark") != cand.get("benchmark"):
-        sys.exit(f"error: benchmark mismatch: {base.get('benchmark')!r} vs "
-                 f"{cand.get('benchmark')!r}")
+        usage_error(f"benchmark mismatch: {base.get('benchmark')!r} vs "
+                    f"{cand.get('benchmark')!r}")
 
     cmp = Comparison(args.threshold)
 
