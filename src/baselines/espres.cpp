@@ -47,7 +47,23 @@ Time EspresSwitch::flush(Time now) {
   std::vector<net::Rule> batch;
   batch.reserve(pending_.size());
   for (const Pending& p : pending_) batch.push_back(p.mod.rule);
-  Time last = asic_.submit_batch_insert(now, 0, batch);
+  tcam::Asic::BatchResult result;
+  Time last = asic_.submit_batch_insert(now, 0, batch, &result);
+  if (asic_.fault_plan() != nullptr) {
+    // An injected failure truncated the schedule: immediately re-submit
+    // the un-landed suffix (the scheduler has no backoff — it just keeps
+    // the window's transaction going).
+    std::size_t landed = static_cast<std::size_t>(result.inserted);
+    for (int attempt = 1;
+         attempt <= kFaultRetryLimit && landed < batch.size(); ++attempt) {
+      obs_retries_.inc();
+      std::vector<net::Rule> rest(
+          batch.begin() + static_cast<std::ptrdiff_t>(landed), batch.end());
+      tcam::Asic::BatchResult r2;
+      last = asic_.submit_batch_insert(last, 0, rest, &r2);
+      landed += static_cast<std::size_t>(r2.inserted);
+    }
+  }
   for (const Pending& p : pending_)
     rit_samples_.push_back(last - p.arrival);
   pending_.clear();

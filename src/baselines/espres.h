@@ -36,6 +36,9 @@ class EspresSwitch final : public SwitchBackend {
     return rit_samples_;
   }
   void clear_rit_samples() override { rit_samples_.clear(); }
+  void set_fault_plan(fault::FaultPlan* plan) override {
+    asic_.set_fault_plan(plan);
+  }
 
   /// Forces the pending batch out (end-of-run drain).
   Time flush(Time now);

@@ -30,6 +30,9 @@ class HermesBackend final : public SwitchBackend {
     return agent_.rit_samples();
   }
   void clear_rit_samples() override { agent_.clear_rit_samples(); }
+  void set_fault_plan(fault::FaultPlan* plan) override {
+    agent_.asic().set_fault_plan(plan);
+  }
 
   core::HermesAgent& agent() { return agent_; }
   const core::HermesAgent& agent() const { return agent_; }

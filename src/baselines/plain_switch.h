@@ -28,6 +28,9 @@ class PlainSwitch final : public SwitchBackend {
     return rit_samples_;
   }
   void clear_rit_samples() override { rit_samples_.clear(); }
+  void set_fault_plan(fault::FaultPlan* plan) override {
+    asic_.set_fault_plan(plan);
+  }
 
   tcam::Asic& asic() { return asic_; }
   int occupancy() const { return asic_.slice(0).occupancy(); }
@@ -37,6 +40,13 @@ class PlainSwitch final : public SwitchBackend {
   }
 
  private:
+  /// Re-submits a failed insert immediately (no backoff: an unmodified
+  /// agent just tries again), each retry re-paying the occupancy-deep
+  /// insert cost — this is what head-of-line blocks the channel under
+  /// fault injection.
+  Time submit_with_retry(Time now, const net::FlowMod& mod,
+                         tcam::ApplyResult* result);
+
   std::string name_;
   tcam::Asic asic_;
   std::vector<Duration> rit_samples_;

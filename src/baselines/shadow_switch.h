@@ -35,6 +35,12 @@ class ShadowSwitchBackend final : public SwitchBackend {
     return rit_samples_;
   }
   void clear_rit_samples() override { rit_samples_.clear(); }
+  /// Faults only touch the TCAM flusher: inserts complete at software
+  /// speed regardless, and un-flushed rules simply stay software-resident
+  /// until a later flush succeeds (natural retry).
+  void set_fault_plan(fault::FaultPlan* plan) override {
+    asic_.set_fault_plan(plan);
+  }
 
   /// Rules currently only in software (slow data path).
   int software_resident() const {

@@ -13,6 +13,10 @@
 #include "net/time.h"
 #include "obs/metrics.h"
 
+namespace hermes::fault {
+class FaultPlan;
+}
+
 namespace hermes::baselines {
 
 class SwitchBackend {
@@ -56,7 +60,22 @@ class SwitchBackend {
   virtual const std::vector<Duration>& rit_samples() const = 0;
   virtual void clear_rit_samples() = 0;
 
+  /// Attaches a fault plan (non-owning; nullptr detaches) to the
+  /// backend's ASIC(s) so every implementation runs under the same
+  /// injected faults. Default: no-op, for software-only backends.
+  virtual void set_fault_plan(fault::FaultPlan* /*plan*/) {}
+
  protected:
+  /// Shared recovery policy for the non-Hermes baselines: an unmodified
+  /// switch agent simply re-submits a failed write immediately, up to
+  /// this many extra attempts — each retry re-pays the full
+  /// occupancy-dependent insert cost on the serialized channel.
+  static constexpr int kFaultRetryLimit = 3;
+
+  /// Failed writes re-submitted by baseline backends (aggregate across
+  /// backends via the process-attached registry).
+  obs::Counter obs_retries_ = obs::attached_counter("backend.retries");
+
   /// Transaction sizes reaching this layer, shared across backends via the
   /// process-attached registry (detached no-op handle otherwise).
   /// Overrides of handle_batch record into it too.

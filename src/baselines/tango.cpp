@@ -32,8 +32,7 @@ Time TangoSwitch::handle(Time now, const net::FlowMod& mod) {
       phys.id = next_physical_id_++;
       physical_[phys.id] = PhysicalEntry{phys, {rule.id}};
       logical_to_physical_[rule.id] = phys.id;
-      return asic_.submit(std::max(t, now), 0,
-                          {net::FlowModType::kInsert, phys});
+      return insert_with_retry(std::max(t, now), phys);
     }
   }
   return now;
@@ -78,9 +77,38 @@ Time TangoSwitch::flush(Time now) {
     rewrite_group(it->first.first, action, it->second, schedule);
     for (Pending& p : it->second) all.push_back(std::move(p));
   }
-  Time last = asic_.submit_batch_insert(now, 0, schedule);
+  tcam::Asic::BatchResult result;
+  Time last = asic_.submit_batch_insert(now, 0, schedule, &result);
+  if (asic_.fault_plan() != nullptr) {
+    // Immediately re-submit the suffix an injected failure cut off.
+    std::size_t landed = static_cast<std::size_t>(result.inserted);
+    for (int attempt = 1;
+         attempt <= kFaultRetryLimit && landed < schedule.size(); ++attempt) {
+      obs_retries_.inc();
+      std::vector<net::Rule> rest(
+          schedule.begin() + static_cast<std::ptrdiff_t>(landed),
+          schedule.end());
+      tcam::Asic::BatchResult r2;
+      last = asic_.submit_batch_insert(last, 0, rest, &r2);
+      landed += static_cast<std::size_t>(r2.inserted);
+    }
+  }
   for (const Pending& p : all) rit_samples_.push_back(last - p.arrival);
   return last;
+}
+
+Time TangoSwitch::insert_with_retry(Time now, const net::Rule& phys) {
+  tcam::ApplyResult result;
+  Time done = asic_.submit(now, 0, {net::FlowModType::kInsert, phys}, &result);
+  if (!result.ok && asic_.fault_plan() != nullptr) {
+    for (int attempt = 1; attempt <= kFaultRetryLimit && !result.ok;
+         ++attempt) {
+      obs_retries_.inc();
+      done =
+          asic_.submit(done, 0, {net::FlowModType::kInsert, phys}, &result);
+    }
+  }
+  return done;
 }
 
 void TangoSwitch::rewrite_group(int priority, const net::Action& action,
@@ -149,7 +177,7 @@ Time TangoSwitch::erase_logical(Time now, net::RuleId id) {
     std::vector<net::RuleId> new_ids;
     for (const net::Prefix& prefix : merged) {
       net::Rule phys{next_physical_id_++, priority, prefix, action};
-      last = asic_.submit(now, 0, {net::FlowModType::kInsert, phys});
+      last = insert_with_retry(now, phys);
       physical_.emplace(phys.id, PhysicalEntry{phys, {}});
       new_ids.push_back(phys.id);
     }

@@ -41,6 +41,9 @@ class TangoSwitch final : public SwitchBackend {
     return rit_samples_;
   }
   void clear_rit_samples() override { rit_samples_.clear(); }
+  void set_fault_plan(fault::FaultPlan* plan) override {
+    asic_.set_fault_plan(plan);
+  }
 
   /// Forces the pending batch out (end-of-run drain).
   Time flush(Time now);
@@ -66,6 +69,9 @@ class TangoSwitch final : public SwitchBackend {
   };
 
   Time erase_logical(Time now, net::RuleId id);
+  /// Per-op insert with the shared immediate-retry policy (modify path
+  /// and the reinstall loop of erase_logical).
+  Time insert_with_retry(Time now, const net::Rule& phys);
   void rewrite_group(int priority, const net::Action& action,
                      const std::vector<Pending>& group,
                      std::vector<net::Rule>& batch);

@@ -1,0 +1,117 @@
+// Deterministic, seed-driven fault injection for the ASIC substrate.
+//
+// Real switch SDKs lose flow-mods, stall the control channel, and reboot;
+// the rest of the repo models a perfect substrate. A FaultPlan makes those
+// imperfections reproducible: per-slice write-failure probabilities,
+// uniform channel stall/jitter distributions, and a schedule of switch
+// reset events, all driven by counter-based hash draws from one seed — no
+// RNG object state, no wall clock, so two runs with the same seed and the
+// same operation sequence draw bit-identical fault schedules.
+//
+// tcam::Asic consults the plan (when one is attached) on every submit /
+// submit_batch_insert: an insert attempt may fail (costing a wasted
+// channel round), any op may be stalled, and scheduled resets wipe every
+// slice at the next channel activity at-or-after the reset time. Recovery
+// is the caller's job — HermesAgent retries with capped exponential
+// backoff and reconciles after resets; the baselines re-send inline
+// (see DESIGN.md "Fault model & recovery semantics").
+//
+// The plan itself counts what it injects through the process-attached
+// obs registry (`fault.write_failures`, `fault.stall_ns`, `fault.resets`)
+// and emits `fault_injected` trace events, so every backend under the
+// same plan is accounted uniformly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/time.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hermes::fault {
+
+/// Fault parameters for one TCAM slice (or the default for all slices).
+struct SliceFaults {
+  /// Probability that one insert attempt against this slice fails
+  /// (the entry does not land; the channel round is wasted).
+  double write_failure_prob = 0.0;
+
+  /// Extra channel occupation added to every op on this slice, drawn
+  /// uniformly from [stall_min, stall_max]. stall_max <= 0 disables.
+  Duration stall_min = 0;
+  Duration stall_max = 0;
+
+  bool stalls_enabled() const { return stall_max > 0; }
+};
+
+struct FaultPlanConfig {
+  /// Root of every draw; identical seeds reproduce identical schedules.
+  std::uint64_t seed = 1;
+
+  /// Applied to any slice without an explicit override.
+  SliceFaults default_slice;
+
+  /// Per-slice overrides, keyed by slice index (e.g. fault only the main
+  /// slice to model migration-path loss).
+  std::vector<std::pair<int, SliceFaults>> slice_overrides;
+
+  /// Scheduled switch resets (ascending simulated times). A reset wipes
+  /// every slice; it is applied lazily by the Asic at its next channel
+  /// activity at-or-after the reset time.
+  std::vector<Time> resets;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanConfig config);
+
+  /// Draws whether the next insert attempt against `slice` fails.
+  /// Burns one draw iff the slice has a positive failure probability, so
+  /// a benign plan leaves the schedule untouched. Counts and traces.
+  bool fail_write(Time now, int slice);
+
+  /// Draws the channel stall for the op that is being submitted to
+  /// `slice` (0 when stalls are disabled for the slice; no draw burned).
+  Duration stall(Time now, int slice);
+
+  /// Consumes every scheduled reset with time <= `now`; returns how many
+  /// fired. last_reset_time() is the time of the latest consumed reset.
+  int consume_resets(Time now);
+  Time last_reset_time() const { return last_reset_; }
+
+  /// The next unconsumed reset, if any.
+  std::optional<Time> next_reset() const;
+
+  const FaultPlanConfig& config() const { return config_; }
+
+  // Injection totals (also mirrored into the attached obs registry).
+  std::uint64_t write_failures() const { return write_failures_; }
+  std::uint64_t resets_fired() const { return resets_fired_; }
+  Duration total_stall() const { return total_stall_; }
+
+  /// Draws burned against `slice` so far (determinism diagnostics).
+  std::uint64_t draws(int slice) const;
+
+ private:
+  const SliceFaults& faults_for(int slice) const;
+  /// Counter-based uniform [0, 1) draw: hash(seed, slice, draw#, salt).
+  double uniform(int slice, std::uint64_t salt);
+
+  FaultPlanConfig config_;
+  std::vector<std::uint64_t> draw_counters_;  // per slice, grown on demand
+  std::size_t reset_cursor_ = 0;
+  Time last_reset_ = -1;
+  std::uint64_t write_failures_ = 0;
+  std::uint64_t resets_fired_ = 0;
+  Duration total_stall_ = 0;
+
+  obs::Counter obs_write_failures_ =
+      obs::attached_counter("fault.write_failures");
+  obs::Counter obs_resets_ = obs::attached_counter("fault.resets");
+  obs::Histogram obs_stall_ns_ = obs::attached_histogram("fault.stall_ns");
+};
+
+}  // namespace hermes::fault

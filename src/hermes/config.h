@@ -74,6 +74,21 @@ struct HermesConfig {
   /// Run Algorithm 1's final Merge step (minimal piece cover); false =
   /// install the raw cut set.
   bool merge_partitions = true;
+
+  // --- Fault recovery (active only when the Asic has a fault plan) ---------
+
+  /// Max re-submissions of a failed write before giving up on the slice.
+  int insert_retry_limit = 3;
+
+  /// First retry waits this long after the failure completes; each
+  /// subsequent retry doubles the wait, capped below.
+  Duration insert_retry_backoff = from_micros(100);
+  Duration insert_retry_backoff_cap = from_millis(10);
+
+  /// After retry exhaustion on a guaranteed insert: true = reject the
+  /// rule outright; false (default) = fall through to the main table,
+  /// trading the latency guarantee for eventual installation.
+  bool reject_on_retry_exhaustion = false;
 };
 
 }  // namespace hermes::core

@@ -58,6 +58,14 @@ HermesAgent::HermesAgent(const tcam::SwitchModel& model,
   m_.violations = obs_->counter("agent.violations");
   m_.worst_guaranteed_latency_ns =
       obs_->gauge("agent.worst_guaranteed_latency_ns");
+  m_.retries = obs_->counter("agent.retries");
+  m_.migration_requeues = obs_->counter("agent.migration_requeues");
+  m_.reconcile_runs = obs_->counter("reconcile.runs");
+  m_.reconcile_rules_reinstalled =
+      obs_->counter("reconcile.rules_reinstalled");
+  m_.reconcile_pieces_reinstalled =
+      obs_->counter("reconcile.pieces_reinstalled");
+  m_.reconcile_rules_lost = obs_->counter("reconcile.rules_lost");
   gate_keeper_ =
       std::make_unique<GateKeeper>(config_, rate, burst, obs_.get());
 
@@ -124,6 +132,14 @@ const AgentStats& HermesAgent::stats() const {
   stats_view_.violations = m_.violations.value();
   stats_view_.worst_guaranteed_latency =
       static_cast<Duration>(m_.worst_guaranteed_latency_ns.value());
+  stats_view_.retries = m_.retries.value();
+  stats_view_.migration_requeues = m_.migration_requeues.value();
+  stats_view_.reconcile_runs = m_.reconcile_runs.value();
+  stats_view_.reconcile_rules_reinstalled =
+      m_.reconcile_rules_reinstalled.value();
+  stats_view_.reconcile_pieces_reinstalled =
+      m_.reconcile_pieces_reinstalled.value();
+  stats_view_.reconcile_rules_lost = m_.reconcile_rules_lost.value();
   return stats_view_;
 }
 
@@ -141,6 +157,37 @@ int HermesAgent::main_min_priority() const {
 void HermesAgent::note_guaranteed_latency(Duration latency) {
   m_.worst_guaranteed_latency_ns.set_max(static_cast<std::int64_t>(latency));
   if (latency > config_.guarantee) m_.violations.inc();
+}
+
+// --- Fault recovery -----------------------------------------------------------
+
+void HermesAgent::note_retry(Time at, int slice, int attempt) {
+  m_.retries.inc();
+  obs_retries_.inc();
+  obs::trace_event(obs::retry_event(at, slice, attempt));
+}
+
+HermesAgent::RetriedInsert HermesAgent::submit_insert_with_retry(
+    Time now, int slice, const net::Rule& rule) {
+  auto submit = [&](Time at, tcam::ApplyResult* result) {
+    return slice == kShadow ? submit_shadow_insert(at, rule, result)
+                            : submit_main_insert(at, rule, result);
+  };
+  RetriedInsert r;
+  r.completion = submit(now, &r.last);
+  r.total_latency = r.last.latency;
+  if (r.last.ok || asic_.fault_plan() == nullptr) return r;
+  Duration backoff = config_.insert_retry_backoff;
+  for (int attempt = 1;
+       attempt <= config_.insert_retry_limit && !r.last.ok; ++attempt) {
+    Time at = r.completion + backoff;
+    note_retry(at, slice, attempt);
+    r.completion = submit(at, &r.last);
+    r.total_latency += r.last.latency;
+    ++r.attempts;
+    backoff = std::min(backoff * 2, config_.insert_retry_backoff_cap);
+  }
+  return r;
 }
 
 // --- Control plane entry points ---------------------------------------------
@@ -295,9 +342,29 @@ Time HermesAgent::flush_insert_run(Time now, net::FlowModBatch& batch,
     // The batch write is one control-plane action on the TCAM; judge the
     // guarantee on its channel occupation once, like a migration batch.
     note_guaranteed_latency(bresult.latency);
+    std::size_t landed = static_cast<std::size_t>(bresult.inserted);
+    if (landed < all_pieces.size() && asic_.fault_plan() != nullptr) {
+      // An injected failure truncated the batch: resubmit the un-landed
+      // suffix with capped exponential backoff. Prefix semantics hold
+      // across attempts, so the per-rule landed check below still works.
+      Duration backoff = config_.insert_retry_backoff;
+      for (int attempt = 1; attempt <= config_.insert_retry_limit &&
+                            landed < all_pieces.size();
+           ++attempt) {
+        Time at = done + backoff;
+        note_retry(at, kShadow, attempt);
+        std::vector<net::Rule> rest(
+            all_pieces.begin() + static_cast<std::ptrdiff_t>(landed),
+            all_pieces.end());
+        tcam::Asic::BatchResult r2;
+        done = asic_.submit_batch_insert(at, kShadow, rest, &r2);
+        note_guaranteed_latency(r2.latency);
+        landed += static_cast<std::size_t>(r2.inserted);
+        backoff = std::min(backoff * 2, config_.insert_retry_backoff_cap);
+      }
+    }
     m_.worst_guaranteed_latency_ns.set_max(
         static_cast<std::int64_t>(done - now));
-    const std::size_t landed = static_cast<std::size_t>(bresult.inserted);
     for (const Planned& p : planned) {
       const net::Rule& rule = rules[p.run_pos];
       const std::size_t end = p.first_piece + p.pieces.size();
@@ -413,16 +480,42 @@ Time HermesAgent::insert_guaranteed(Time now, const net::Rule& rule,
   Time completion = now;
   Duration op_latency = 0;
   Duration worst_piece = 0;
-  for (const net::Rule& piece : pieces) {
-    tcam::ApplyResult result;
-    completion = submit_shadow_insert(now, piece, &result);
-    op_latency += result.latency;
-    worst_piece = std::max(worst_piece, result.latency);
-  }
-
   std::vector<net::RuleId> piece_ids;
   piece_ids.reserve(pieces.size());
-  for (const net::Rule& p : pieces) piece_ids.push_back(p.id);
+  bool exhausted = false;
+  for (const net::Rule& piece : pieces) {
+    RetriedInsert r = submit_insert_with_retry(now, kShadow, piece);
+    completion = r.completion;
+    op_latency += r.total_latency;
+    worst_piece = std::max(worst_piece, r.total_latency);
+    // Only a fault plan can fail a piece here (capacity is pre-checked and
+    // piece ids are unique); fault-free, every piece lands as before.
+    if (!r.last.ok && asic_.fault_plan() != nullptr) {
+      exhausted = true;
+      break;
+    }
+    piece_ids.push_back(piece.id);
+  }
+
+  if (exhausted) {
+    // Retries ran dry on the shadow slice: undo the landed siblings and
+    // fall through per policy. The guarantee is missed either way.
+    for (net::RuleId pid : piece_ids) {
+      if (const net::Rule* p = asic_.slice(kShadow).find_ptr(pid))
+        shadow_index_.erase(pid, p->match);
+    }
+    completion =
+        std::max(completion,
+                 asic_.submit_batch_delete(completion, kShadow, piece_ids));
+    m_.violations.inc();
+    if (config_.reject_on_retry_exhaustion) {
+      m_.failed_ops.inc();
+      record_rit(completion - now, op_latency);
+      return completion;
+    }
+    return insert_to_main(completion, rule, /*count_violation=*/false,
+                          /*arrival=*/now);
+  }
   std::vector<net::RuleId> blockers;
   for (net::RuleId pid : partition.cut_against)
     if (auto lid = store_.logical_of(pid)) blockers.push_back(*lid);
@@ -451,17 +544,17 @@ Time HermesAgent::insert_guaranteed(Time now, const net::Rule& rule,
 }
 
 Time HermesAgent::insert_to_main(Time now, const net::Rule& rule,
-                                 bool count_violation) {
-  tcam::ApplyResult result;
-  Time completion = submit_main_insert(now, rule, &result);
-  if (!result.ok) {
+                                 bool count_violation, Time arrival) {
+  RetriedInsert r = submit_insert_with_retry(now, kMain, rule);
+  Time completion = r.completion;
+  if (!r.last.ok) {
     m_.failed_ops.inc();
     return completion;
   }
   store_.add(LogicalRule{rule, Placement::kMain, {rule.id}, false, {}});
   m_.main_inserts.inc();
   if (count_violation) m_.violations.inc();
-  record_rit(completion - now, result.latency);
+  record_rit(completion - (arrival >= 0 ? arrival : now), r.total_latency);
   // A rule landing in main can shadow-mask lower-priority shadow rules
   // (the mirror of Figure 4): cut them now.
   repartition_shadow_overlaps(now, rule);
@@ -607,12 +700,16 @@ void HermesAgent::repartition_logical(Time now, net::RuleId logical_id) {
   std::vector<net::RuleId> new_ids;
   new_ids.reserve(new_pieces.size());
   for (const net::Rule& piece : new_pieces) {
-    if (placement == Placement::kShadow) {
-      submit_shadow_insert(now, piece);
+    RetriedInsert r = submit_insert_with_retry(
+        now, placement == Placement::kShadow ? kShadow : kMain, piece);
+    // Fault-free the push is unconditional (an organic failure cannot
+    // happen here); under a fault plan a piece whose retries ran dry is
+    // dropped from the cover and counted as a failed op.
+    if (r.last.ok || asic_.fault_plan() == nullptr) {
+      new_ids.push_back(piece.id);
     } else {
-      submit_main_insert(now, piece);
+      m_.failed_ops.inc();
     }
-    new_ids.push_back(piece.id);
   }
   for (net::RuleId pid : old_pieces) {
     if (placement == Placement::kShadow) {

@@ -65,6 +65,14 @@ struct AgentStats {
 
   std::uint64_t violations = 0;           ///< guarantee missed
   Duration worst_guaranteed_latency = 0;
+
+  // Fault recovery (all zero without an attached fault plan).
+  std::uint64_t retries = 0;              ///< failed writes re-submitted
+  std::uint64_t migration_requeues = 0;   ///< migration runs re-queued
+  std::uint64_t reconcile_runs = 0;       ///< post-reset reconciliations
+  std::uint64_t reconcile_rules_reinstalled = 0;
+  std::uint64_t reconcile_pieces_reinstalled = 0;
+  std::uint64_t reconcile_rules_lost = 0; ///< dropped after retry exhaustion
 };
 
 class HermesAgent {
@@ -168,7 +176,30 @@ class HermesAgent {
   /// `run`, batch order) through the batched guaranteed path.
   Time flush_insert_run(Time now, net::FlowModBatch& batch,
                         const std::vector<std::size_t>& run);
-  Time insert_to_main(Time now, const net::Rule& rule, bool count_violation);
+  /// `arrival` (when >= 0) is the controller-visible arrival time the RIT
+  /// sample is judged against — the retry path lands rules in main well
+  /// after the original submission instant.
+  Time insert_to_main(Time now, const net::Rule& rule, bool count_violation,
+                      Time arrival = -1);
+
+  // --- Fault recovery (active only when the Asic has a fault plan) ---------
+  /// One insert pushed through capped exponential backoff. Without a
+  /// fault plan this is exactly one submit — bit-identical to the
+  /// fault-free path.
+  struct RetriedInsert {
+    tcam::ApplyResult last;      ///< outcome of the final attempt
+    Duration total_latency = 0;  ///< channel occupation across attempts
+    Time completion = 0;
+    int attempts = 1;
+  };
+  RetriedInsert submit_insert_with_retry(Time now, int slice,
+                                         const net::Rule& rule);
+  void note_retry(Time at, int slice, int attempt);
+
+  /// Applies pending scheduled resets and, if the ASIC rebooted since we
+  /// last looked, runs a reconciliation pass (rule_manager.cpp).
+  void maybe_reconcile(Time now);
+  Time reconcile(Time now);
 
   /// A higher-priority rule landed in main: cut any overlapping
   /// lower-priority shadow-resident rules against it (the symmetric form
@@ -233,6 +264,12 @@ class HermesAgent {
     obs::Counter migration_rollbacks;
     obs::Counter violations;
     obs::Gauge worst_guaranteed_latency_ns;
+    obs::Counter retries;
+    obs::Counter migration_requeues;
+    obs::Counter reconcile_runs;
+    obs::Counter reconcile_rules_reinstalled;
+    obs::Counter reconcile_pieces_reinstalled;
+    obs::Counter reconcile_rules_lost;
   };
 
   HermesConfig config_;
@@ -248,6 +285,13 @@ class HermesAgent {
   net::RuleId piece_id_counter_;
   Time epoch_start_ = 0;
   double arrivals_this_epoch_ = 0;
+
+  // Fault recovery state: a partially-failed migration re-queues itself
+  // with capped exponential backoff instead of waiting for the next
+  // trigger; reconciliation watches the ASIC's reset epoch.
+  Time migration_retry_at_ = -1;
+  Duration migration_retry_backoff_ = 0;
+  int seen_reset_epoch_ = 0;
   Metrics m_;
   mutable AgentStats stats_view_;
   std::vector<Duration> rit_samples_;
@@ -264,6 +308,19 @@ class HermesAgent {
       obs::attached_histogram("migration.batch_pieces");
   obs::Histogram obs_shadow_batch_pieces_ =
       obs::attached_histogram("agent.shadow_batch_pieces");
+
+  // Fault-recovery aggregates (dual-recorded: per-agent registry counters
+  // in m_ plus these process-attached totals, like the histograms above).
+  obs::Counter obs_retries_ = obs::attached_counter("agent.retries");
+  obs::Counter obs_requeues_ =
+      obs::attached_counter("agent.migration_requeues");
+  obs::Counter obs_reconcile_runs_ = obs::attached_counter("reconcile.runs");
+  obs::Counter obs_reconcile_rules_ =
+      obs::attached_counter("reconcile.rules_reinstalled");
+  obs::Counter obs_reconcile_pieces_ =
+      obs::attached_counter("reconcile.pieces_reinstalled");
+  obs::Counter obs_reconcile_lost_ =
+      obs::attached_counter("reconcile.rules_lost");
 };
 
 }  // namespace hermes::core

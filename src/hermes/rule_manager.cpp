@@ -8,6 +8,13 @@
 namespace hermes::core {
 
 void HermesAgent::tick(Time now) {
+  maybe_reconcile(now);
+  if (migration_retry_at_ >= 0 && now >= migration_retry_at_) {
+    // A partially-failed migration re-queued itself: run it again now,
+    // before the regular epoch machinery.
+    migration_retry_at_ = -1;
+    run_migration(now);
+  }
   if (config_.simple_threshold >= 0) {
     // Hermes-SIMPLE: the occupancy threshold is checked on every tick —
     // with a 0% threshold "migration is constantly happening in the
@@ -234,12 +241,255 @@ Time HermesAgent::run_migration(Time now) {
   }
 
   Time done = std::max(main_done, shadow_done);
+  if (asic_.fault_plan() != nullptr) {
+    if (failures_this_run > 0) {
+      // Instead of waiting for the next trigger (and rolling back for
+      // good), re-queue the run with capped exponential backoff — the
+      // skipped rules are still shadow-resident and will be re-planned.
+      migration_retry_backoff_ =
+          migration_retry_backoff_ <= 0
+              ? config_.insert_retry_backoff
+              : std::min(migration_retry_backoff_ * 2,
+                         config_.insert_retry_backoff_cap);
+      migration_retry_at_ = done + migration_retry_backoff_;
+      m_.migration_requeues.inc();
+      obs_requeues_.inc();
+    } else {
+      migration_retry_at_ = -1;
+      migration_retry_backoff_ = 0;
+    }
+  }
   obs_migration_rules_.record(migrated.size());
   obs_migration_pieces_.record(pieces_this_run);
   obs::trace_event(obs::migration_batch_event(
       now, static_cast<int>(migrated.size()),
       static_cast<int>(pieces_this_run),
       static_cast<int>(failures_this_run), done - now));
+  return done;
+}
+
+// --- Post-reset reconciliation (the fault-recovery half of the Rule
+// Manager): diff the RuleStore — the agent's durable intent — against
+// what actually survived in the ASIC slices, purge strays and orphaned
+// partial covers, and reinstall the damaged rules through the optimized
+// batch path.
+
+void HermesAgent::maybe_reconcile(Time now) {
+  if (asic_.fault_plan() == nullptr) return;
+  asic_.poll(now);
+  if (asic_.reset_epoch() == seen_reset_epoch_) return;
+  seen_reset_epoch_ = asic_.reset_epoch();
+  reconcile(now);
+}
+
+Time HermesAgent::reconcile(Time now) {
+  m_.reconcile_runs.inc();
+  obs_reconcile_runs_.inc();
+  Time done = now;
+  std::uint64_t rules_reinstalled = 0;
+  std::uint64_t pieces_reinstalled = 0;
+
+  // The overlap indices are rebuilt from scratch off what the diff below
+  // finds intact (plus what gets reinstalled).
+  main_index_.clear();
+  shadow_index_.clear();
+
+  auto batch_insert_with_retry = [&](Time at, int slice,
+                                     const std::vector<net::Rule>& rules,
+                                     Time* completion) -> std::size_t {
+    if (rules.empty()) {
+      *completion = at;
+      return 0;
+    }
+    tcam::Asic::BatchResult result;
+    Time batch_done = asic_.submit_batch_insert(at, slice, rules, &result);
+    std::size_t landed = static_cast<std::size_t>(result.inserted);
+    Duration backoff = config_.insert_retry_backoff;
+    for (int attempt = 1;
+         attempt <= config_.insert_retry_limit && landed < rules.size();
+         ++attempt) {
+      Time t = batch_done + backoff;
+      note_retry(t, slice, attempt);
+      std::vector<net::Rule> rest(
+          rules.begin() + static_cast<std::ptrdiff_t>(landed), rules.end());
+      tcam::Asic::BatchResult r2;
+      batch_done = asic_.submit_batch_insert(t, slice, rest, &r2);
+      landed += static_cast<std::size_t>(r2.inserted);
+      backoff = std::min(backoff * 2, config_.insert_retry_backoff_cap);
+    }
+    *completion = batch_done;
+    return landed;
+  };
+
+  // 1. Purge physical entries no logical rule claims, then classify each
+  //    placed rule as intact (all pieces present: reindex) or damaged
+  //    (purge the surviving partial cover, reinstall below).
+  auto survey = [&](Placement placement, int slice,
+                    OverlapIndex& index) -> std::vector<net::RuleId> {
+    const tcam::TcamTable& table = asic_.slice(slice);
+    std::vector<net::RuleId> purge;
+    for (const net::Rule& resident : table.rules_view())
+      if (!store_.logical_of(resident.id)) purge.push_back(resident.id);
+    std::vector<net::RuleId> damaged;
+    for (net::RuleId lid : store_.ids_with_placement(placement)) {
+      const LogicalRule* lr = store_.find(lid);
+      if (lr->physical_ids.empty()) continue;  // software-only (redundant)
+      bool intact = true;
+      for (net::RuleId pid : lr->physical_ids)
+        if (!table.contains(pid)) intact = false;
+      if (intact) {
+        for (net::RuleId pid : lr->physical_ids)
+          index.insert(*table.find_ptr(pid));
+      } else {
+        for (net::RuleId pid : lr->physical_ids)
+          if (table.contains(pid)) purge.push_back(pid);
+        damaged.push_back(lid);
+      }
+    }
+    if (!purge.empty())
+      done = std::max(done, asic_.submit_batch_delete(now, slice, purge));
+    return damaged;
+  };
+  std::vector<net::RuleId> damaged_main =
+      survey(Placement::kMain, kMain, main_index_);
+  std::vector<net::RuleId> damaged_shadow =
+      survey(Placement::kShadow, kShadow, shadow_index_);
+
+  auto by_priority_desc = [&](net::RuleId a, net::RuleId b) {
+    const LogicalRule* la = store_.find(a);
+    const LogicalRule* lb = store_.find(b);
+    if (la->original.priority != lb->original.priority)
+      return la->original.priority > lb->original.priority;
+    return a < b;
+  };
+
+  // 2. Reinstall damaged MAIN rules whole (ids are the logical ids, so no
+  //    piece bookkeeping) as one batch, highest priority first — the main
+  //    TCAM disambiguates same-table overlaps by priority, so no cuts are
+  //    needed between them.
+  std::sort(damaged_main.begin(), damaged_main.end(), by_priority_desc);
+  std::vector<net::Rule> main_batch;
+  main_batch.reserve(damaged_main.size());
+  for (net::RuleId lid : damaged_main)
+    main_batch.push_back(store_.find(lid)->original);
+  Time main_done = now;
+  std::size_t main_landed =
+      batch_insert_with_retry(now, kMain, main_batch, &main_done);
+  done = std::max(done, main_done);
+  for (std::size_t i = 0; i < damaged_main.size(); ++i) {
+    net::RuleId lid = damaged_main[i];
+    if (i < main_landed) {
+      main_index_.insert(main_batch[i]);
+      store_.rebind(lid, Placement::kMain, {main_batch[i].id}, false, {});
+      ++rules_reinstalled;
+      ++pieces_reinstalled;
+    } else {
+      // Retry exhaustion: the rule is gone from the data plane and the
+      // agent stops pretending otherwise.
+      store_.remove(lid);
+      m_.reconcile_rules_lost.inc();
+      obs_reconcile_lost_.inc();
+    }
+  }
+
+  // 3. Re-cut damaged SHADOW rules against the rebuilt main table and
+  //    reinstall them as one optimized shadow batch. Highest priority
+  //    first: anything demoted whole into main along the way then blocks
+  //    (rather than being masked by) the lower-priority rules after it.
+  std::sort(damaged_shadow.begin(), damaged_shadow.end(), by_priority_desc);
+  struct Span {
+    net::RuleId lid;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    bool partitioned = false;
+    std::vector<net::RuleId> blockers;
+  };
+  std::vector<net::Rule> shadow_batch;
+  std::vector<Span> spans;
+  int shadow_free = asic_.slice(kShadow).capacity() -
+                    asic_.slice(kShadow).occupancy();
+  for (net::RuleId lid : damaged_shadow) {
+    const net::Rule original = store_.find(lid)->original;
+    PartitionResult partition =
+        partition_new_rule(original, main_index_, config_.merge_partitions);
+    std::vector<net::RuleId> blockers;
+    for (net::RuleId pid : partition.cut_against)
+      if (auto blid = store_.logical_of(pid)) blockers.push_back(*blid);
+    if (partition.redundant) {
+      // Fully masked by what survived/reinstalled in main: keep it as a
+      // software-only record, like a redundant insert.
+      store_.rebind(lid, Placement::kMain, {}, true, std::move(blockers));
+      continue;
+    }
+    if (static_cast<int>(partition.pieces.size()) > shadow_free) {
+      // No shadow room post-reset: demote the rule whole into main.
+      RetriedInsert r = submit_insert_with_retry(now, kMain, original);
+      done = std::max(done, r.completion);
+      if (r.last.ok) {
+        store_.rebind(lid, Placement::kMain, {original.id}, false, {});
+        ++rules_reinstalled;
+        ++pieces_reinstalled;
+      } else {
+        store_.remove(lid);
+        m_.reconcile_rules_lost.inc();
+        obs_reconcile_lost_.inc();
+      }
+      continue;
+    }
+    shadow_free -= static_cast<int>(partition.pieces.size());
+    Span span;
+    span.lid = lid;
+    span.begin = shadow_batch.size();
+    span.partitioned = !(partition.pieces.size() == 1 &&
+                         partition.pieces[0] == original.match);
+    std::vector<net::Rule> pieces;
+    if (!span.partitioned) {
+      pieces.push_back(original);
+    } else {
+      pieces = materialize_partitions(original, partition, piece_id_counter_);
+      piece_id_counter_ += pieces.size();
+    }
+    shadow_batch.insert(shadow_batch.end(), pieces.begin(), pieces.end());
+    span.end = shadow_batch.size();
+    span.blockers = std::move(blockers);
+    spans.push_back(std::move(span));
+  }
+  Time shadow_done = now;
+  std::size_t shadow_landed =
+      batch_insert_with_retry(now, kShadow, shadow_batch, &shadow_done);
+  done = std::max(done, shadow_done);
+  std::vector<net::RuleId> partial;  // landed pieces of a straddling span
+  for (Span& span : spans) {
+    if (span.end <= shadow_landed) {
+      std::vector<net::RuleId> ids;
+      ids.reserve(span.end - span.begin);
+      for (std::size_t i = span.begin; i < span.end; ++i) {
+        shadow_index_.insert(shadow_batch[i]);
+        ids.push_back(shadow_batch[i].id);
+      }
+      pieces_reinstalled += ids.size();
+      ++rules_reinstalled;
+      store_.rebind(span.lid, Placement::kShadow, std::move(ids),
+                    span.partitioned, std::move(span.blockers));
+    } else {
+      for (std::size_t i = span.begin; i < std::min(span.end, shadow_landed);
+           ++i)
+        partial.push_back(shadow_batch[i].id);
+      store_.remove(span.lid);
+      m_.reconcile_rules_lost.inc();
+      obs_reconcile_lost_.inc();
+    }
+  }
+  if (!partial.empty())
+    done = std::max(done, asic_.submit_batch_delete(done, kShadow, partial));
+
+  m_.reconcile_rules_reinstalled.inc(rules_reinstalled);
+  obs_reconcile_rules_.inc(rules_reinstalled);
+  m_.reconcile_pieces_reinstalled.inc(pieces_reinstalled);
+  obs_reconcile_pieces_.inc(pieces_reinstalled);
+  obs::trace_event(obs::reconcile_event(
+      now, static_cast<int>(rules_reinstalled),
+      static_cast<int>(pieces_reinstalled), done - now));
   return done;
 }
 

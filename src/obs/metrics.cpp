@@ -389,6 +389,12 @@ std::string_view kind_name(EventKind kind) {
       return "predictor_sample";
     case EventKind::kPartitionExpand:
       return "partition_expand";
+    case EventKind::kFaultInjected:
+      return "fault_injected";
+    case EventKind::kRetry:
+      return "retry";
+    case EventKind::kReconcile:
+      return "reconcile";
   }
   return "unknown";
 }
@@ -445,6 +451,25 @@ void append_event(std::string& out, const TraceEvent& e) {
                     "{\"kind\":\"partition_expand\",\"t\":%" PRId64
                     ",\"pieces\":%u,\"blockers\":%u}",
                     e.time, e.a, e.b);
+      break;
+    case EventKind::kFaultInjected:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"kind\":\"fault_injected\",\"t\":%" PRId64
+                    ",\"slice\":%u,\"fault\":%u,\"stall_ns\":%" PRId64 "}",
+                    e.time, e.arg, e.a, e.latency_ns);
+      break;
+    case EventKind::kRetry:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"kind\":\"retry\",\"t\":%" PRId64
+                    ",\"slice\":%u,\"attempt\":%u}",
+                    e.time, e.arg, e.a);
+      break;
+    case EventKind::kReconcile:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"kind\":\"reconcile\",\"t\":%" PRId64
+                    ",\"rules\":%u,\"pieces\":%u,\"latency_ns\":%" PRId64
+                    "}",
+                    e.time, e.a, e.b, e.latency_ns);
       break;
     default:
       std::snprintf(buf, sizeof(buf), "{\"kind\":\"unknown\"}");

@@ -24,6 +24,9 @@ enum class EventKind : std::uint8_t {
   kMigrationBatch,   ///< one Rule Manager migration run
   kPredictorSample,  ///< forecast vs. actual arrivals for a closed epoch
   kPartitionExpand,  ///< a rule was cut into multiple pieces
+  kFaultInjected,    ///< fault layer injected a failure/stall/reset
+  kRetry,            ///< a failed write was re-submitted after backoff
+  kReconcile,        ///< post-reset RuleStore-vs-ASIC reconciliation pass
 };
 
 std::string_view kind_name(EventKind kind);
@@ -101,6 +104,50 @@ inline TraceEvent partition_expand_event(TimeNs t, int pieces,
   e.a = static_cast<std::uint32_t>(pieces);
   e.b = static_cast<std::uint32_t>(blockers);
   e.time = t;
+  return e;
+}
+
+/// Values of fault_injected_event's `fault_kind` (the `a` field).
+inline constexpr std::uint32_t kFaultWriteFailure = 0;
+inline constexpr std::uint32_t kFaultStall = 1;
+inline constexpr std::uint32_t kFaultReset = 2;
+
+/// The fault layer injected a fault against `slice`: a write failure, a
+/// channel stall of `stall_ns`, or a switch reset (slice is 0 and the
+/// wipe covers every slice).
+inline TraceEvent fault_injected_event(TimeNs t, int slice,
+                                       std::uint32_t fault_kind,
+                                       std::int64_t stall_ns) {
+  TraceEvent e;
+  e.kind = EventKind::kFaultInjected;
+  e.arg = static_cast<std::uint8_t>(slice);
+  e.a = fault_kind;
+  e.time = t;
+  e.latency_ns = stall_ns;
+  return e;
+}
+
+/// A failed write against `slice` was re-submitted (attempt `attempt`,
+/// 1-based) after capped exponential backoff, at simulated time `t`.
+inline TraceEvent retry_event(TimeNs t, int slice, int attempt) {
+  TraceEvent e;
+  e.kind = EventKind::kRetry;
+  e.arg = static_cast<std::uint8_t>(slice);
+  e.a = static_cast<std::uint32_t>(attempt);
+  e.time = t;
+  return e;
+}
+
+/// One post-reset reconciliation pass: `rules` logical rules reinstalled
+/// as `pieces` physical entries, occupying the channels for `latency_ns`.
+inline TraceEvent reconcile_event(TimeNs t, int rules, int pieces,
+                                  std::int64_t latency_ns) {
+  TraceEvent e;
+  e.kind = EventKind::kReconcile;
+  e.a = static_cast<std::uint32_t>(rules);
+  e.b = static_cast<std::uint32_t>(pieces);
+  e.time = t;
+  e.latency_ns = latency_ns;
   return e;
 }
 

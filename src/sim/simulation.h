@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "baselines/switch_backend.h"
+#include "fault/fault_plan.h"
 #include "net/routing.h"
 #include "net/topology.h"
 #include "obs/metrics.h"
@@ -60,6 +61,16 @@ struct SimConfig {
   BackendFactory backend_factory;
 
   std::uint64_t seed = 1;
+
+  // Fault injection (src/fault/): when enabled, every switch backend gets
+  // its own deterministic FaultPlan (seed derived from fault_seed and the
+  // switch's node id) with the same per-slice fault profile and reset
+  // schedule. Retries run in virtual time through the backends' own
+  // recovery policies.
+  bool faults_enabled = false;
+  fault::SliceFaults fault_slice;
+  std::vector<Time> fault_resets;
+  std::uint64_t fault_seed = 0x5eed;
 };
 
 struct FlowResult {
@@ -152,6 +163,7 @@ class Simulation {
 
   std::unordered_map<net::NodeId, std::unique_ptr<baselines::SwitchBackend>>
       backends_;
+  std::vector<std::unique_ptr<fault::FaultPlan>> fault_plans_;
 
   std::vector<ActiveFlow> flows_;               // indexed by flow_idx
   std::unordered_map<FlowId, int> fluid_to_idx_;

@@ -11,6 +11,19 @@ Asic::Asic(const SwitchModel& model, std::vector<int> slice_sizes)
   slices_.reserve(slice_sizes.size());
   for (int size : slice_sizes) slices_.emplace_back(size);
   busy_until_.assign(slice_sizes.size(), 0);
+  channel_stats_.assign(slice_sizes.size(), ChannelStats{});
+}
+
+void Asic::apply_pending_resets(Time now) {
+  if (fault_plan_ == nullptr) return;
+  int fired = fault_plan_->consume_resets(now);
+  if (fired == 0) return;
+  reset_epoch_ += fired;
+  // The switch rebooted: every slice loses its contents and the control
+  // channels come back idle from the reset instant.
+  for (TcamTable& t : slices_) t.clear();
+  Time rebooted = fault_plan_->last_reset_time();
+  for (Time& t : busy_until_) t = rebooted;
 }
 
 int Asic::total_capacity() const {
@@ -69,27 +82,60 @@ std::optional<net::Rule> Asic::lookup(net::Ipv4Address addr) {
 Time Asic::submit_batch_insert(Time now, int slice_idx,
                                const std::vector<net::Rule>& rules,
                                BatchResult* result) {
+  apply_pending_resets(now);
   // An empty batch is a no-op: no channel occupation, no accounting.
   if (rules.empty()) {
     if (result) *result = {0, 0};
     return now;
   }
+  ChannelStats& cs = channel_stats_[static_cast<std::size_t>(slice_idx)];
   TcamTable& table = slice(slice_idx);
   int occupancy_before = table.occupancy();
-  // Single-pass placement with the sequential stop-at-first-failure
-  // contract: only the prefix of the span lands, but resident entries
-  // move at most once regardless of the batch size.
-  int inserted =
-      table
-          .insert_batch(rules, /*per_op=*/nullptr,
-                        /*stop_at_first_failure=*/true)
-          .inserted;
+  // Fault injection keeps the sequential prefix contract: draw a failure
+  // verdict per rule in order and truncate the batch at the first
+  // injected failure (the rules after it are never attempted, so they
+  // burn no draws — identical to resubmitting them as a fresh batch).
+  std::size_t attempt = rules.size();
+  bool injected = false;
+  if (fault_plan_ != nullptr) {
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (fault_plan_->fail_write(now, slice_idx)) {
+        attempt = i;
+        injected = true;
+        ++cs.injected_failures;
+        break;
+      }
+    }
+  }
+  int inserted = 0;
+  if (attempt == rules.size()) {
+    inserted = table
+                   .insert_batch(rules, /*per_op=*/nullptr,
+                                 /*stop_at_first_failure=*/true)
+                   .inserted;
+  } else if (attempt > 0) {
+    std::vector<net::Rule> prefix(rules.begin(),
+                                  rules.begin() + static_cast<long>(attempt));
+    inserted = table
+                   .insert_batch(prefix, /*per_op=*/nullptr,
+                                 /*stop_at_first_failure=*/true)
+                   .inserted;
+  }
   Duration latency =
       model_->batch_insert_latency(occupancy_before, inserted);
+  // The failed attempt still burned a wasted control-channel round.
+  if (injected) latency += model_->base_latency();
+  if (fault_plan_ != nullptr) {
+    Duration stall = fault_plan_->stall(now, slice_idx);
+    latency += stall;
+    cs.stall_ns += stall;
+  }
   Time& channel = busy_until_[static_cast<std::size_t>(slice_idx)];
   Time start = std::max(now, channel);
   Time done = start + latency;
   channel = done;
+  ++cs.ops;
+  cs.busy_ns += latency;
   obs_batch_ops_.inc();
   obs_batch_rules_.inc(static_cast<std::uint64_t>(inserted));
   obs_batch_latency_.record(static_cast<std::uint64_t>(latency));
@@ -100,21 +146,33 @@ Time Asic::submit_batch_insert(Time now, int slice_idx,
 Time Asic::submit_batch_delete(Time now, int slice_idx,
                                const std::vector<net::RuleId>& ids,
                                BatchResult* result) {
+  apply_pending_resets(now);
   // An empty batch is a no-op: no channel occupation, no accounting.
   if (ids.empty()) {
     if (result) *result = {0, 0};
     return now;
   }
+  ChannelStats& cs = channel_stats_[static_cast<std::size_t>(slice_idx)];
   TcamTable& table = slice(slice_idx);
   int removed = 0;
   for (net::RuleId id : ids) {
     if (table.erase(id).ok) ++removed;
   }
   Duration latency = model_->batch_delete_latency(removed);
+  // Deletes never fail under the fault model (a delete on a rebooted
+  // switch is a harmless no-op), but they do ride the same stalled
+  // channel.
+  if (fault_plan_ != nullptr) {
+    Duration stall = fault_plan_->stall(now, slice_idx);
+    latency += stall;
+    cs.stall_ns += stall;
+  }
   Time& channel = busy_until_[static_cast<std::size_t>(slice_idx)];
   Time start = std::max(now, channel);
   Time done = start + latency;
   channel = done;
+  ++cs.ops;
+  cs.busy_ns += latency;
   obs_batch_ops_.inc();
   obs_batch_rules_.inc(static_cast<std::uint64_t>(removed));
   obs_batch_latency_.record(static_cast<std::uint64_t>(latency));
@@ -124,11 +182,29 @@ Time Asic::submit_batch_delete(Time now, int slice_idx,
 
 Time Asic::submit(Time now, int slice_idx, const net::FlowMod& mod,
                   ApplyResult* result) {
-  ApplyResult r = apply(slice_idx, mod);
+  apply_pending_resets(now);
+  ChannelStats& cs = channel_stats_[static_cast<std::size_t>(slice_idx)];
+  ApplyResult r;
+  if (fault_plan_ != nullptr && mod.type == net::FlowModType::kInsert &&
+      fault_plan_->fail_write(now, slice_idx)) {
+    // Injected write failure: the attempt still costs a wasted
+    // control-channel round, same as an organic rejection.
+    r = {false, model_->base_latency(), 0};
+    ++cs.injected_failures;
+  } else {
+    r = apply(slice_idx, mod);
+  }
+  if (fault_plan_ != nullptr) {
+    Duration stall = fault_plan_->stall(now, slice_idx);
+    r.latency += stall;
+    cs.stall_ns += stall;
+  }
   Time& channel = busy_until_[static_cast<std::size_t>(slice_idx)];
   Time start = std::max(now, channel);
   Time done = start + r.latency;
   channel = done;
+  ++cs.ops;
+  cs.busy_ns += r.latency;
   obs_op_latency_.record(static_cast<std::uint64_t>(r.latency));
   if (r.ok && r.shifts > 0)
     obs::trace_event(

@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "net/rule.h"
 #include "net/time.h"
 #include "obs/metrics.h"
@@ -93,15 +94,60 @@ class Asic {
     return busy_until_[static_cast<std::size_t>(slice_idx)];
   }
 
-  /// Forgets channel serialization state (fresh epoch between experiments).
-  void reset_channel() {
-    for (Time& t : busy_until_) t = 0;
+  /// Per-slice control-channel occupation accounting since the last
+  /// reset_channel() call (or construction). `busy_ns` is the total
+  /// modeled channel occupation; `stall_ns` the portion injected by an
+  /// attached fault plan; `injected_failures` the insert attempts the
+  /// plan failed on this slice.
+  struct ChannelStats {
+    std::uint64_t ops = 0;
+    std::int64_t busy_ns = 0;
+    std::int64_t stall_ns = 0;
+    std::uint64_t injected_failures = 0;
+  };
+  const ChannelStats& channel_stats(int slice_idx) const {
+    return channel_stats_[static_cast<std::size_t>(slice_idx)];
   }
 
+  /// Starts a fresh measurement epoch between experiments: forgets both
+  /// channel serialization state (`busy_until`) AND the per-slice
+  /// channel-occupation stats above — an epoch's `channel_stats()` always
+  /// describe only that epoch. Deliberately NOT reset: slice contents
+  /// (rules stay installed), the process-attached obs registry (global,
+  /// detached by the harness instead), and any attached fault plan with
+  /// its draw/reset cursors (the plan's schedule is position-based, and
+  /// rewinding it would replay faults).
+  void reset_channel() {
+    for (Time& t : busy_until_) t = 0;
+    for (ChannelStats& s : channel_stats_) s = {};
+  }
+
+  // --- Fault injection (src/fault/) ----------------------------------------
+  /// Attaches a fault plan (non-owning; nullptr detaches). With no plan —
+  /// the default — every path below is bit-identical to the fault-free
+  /// implementation.
+  void set_fault_plan(fault::FaultPlan* plan) { fault_plan_ = plan; }
+  fault::FaultPlan* fault_plan() const { return fault_plan_; }
+
+  /// Scheduled resets apply LAZILY: the wipe happens at the first channel
+  /// activity (submit/batch/poll) at-or-after the reset time, wiping every
+  /// slice and freeing the channels from the reset instant. Each applied
+  /// reset bumps `reset_epoch()` — agents poll it to trigger
+  /// reconciliation (data-plane lookups between the reset time and the
+  /// next activity still see pre-reset state; acceptable at the modeled
+  /// granularity, documented in DESIGN.md).
+  void poll(Time now) { apply_pending_resets(now); }
+  int reset_epoch() const { return reset_epoch_; }
+
  private:
+  void apply_pending_resets(Time now);
+
   const SwitchModel* model_;
   std::vector<TcamTable> slices_;
   std::vector<Time> busy_until_;
+  std::vector<ChannelStats> channel_stats_;
+  fault::FaultPlan* fault_plan_ = nullptr;
+  int reset_epoch_ = 0;
 
   // Modeled control-channel occupation per op / per batch, aggregated
   // across all ASICs into the process-attached registry (detached no-op

@@ -1,0 +1,236 @@
+// Determinism property tests (runs under ASan/UBSan via the sanitize
+// preset): two runs with the same FaultPlan seed and the same operation
+// sequence must produce bit-identical fault schedules, retry behavior,
+// completion times, and final slice contents — including the batch path
+// and scheduled resets. This is what makes fault experiments replayable.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "baselines/hermes_backend.h"
+#include "baselines/plain_switch.h"
+#include "fault/fault_plan.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+#include "tcam/asic.h"
+#include "tcam/switch_model.h"
+#include "workloads/trace.h"
+
+namespace hermes::fault {
+namespace {
+
+using net::Rule;
+
+Rule synth_rule(net::RuleId id, std::mt19937_64& rng) {
+  int priority = static_cast<int>(rng() % 512);
+  auto addr = net::Ipv4Address(static_cast<std::uint32_t>(rng()));
+  int length = 8 + static_cast<int>(rng() % 17);
+  return Rule{id, priority, net::Prefix(addr, length),
+              net::forward_to(static_cast<int>(rng() % 8))};
+}
+
+FaultPlanConfig stress_config() {
+  FaultPlanConfig fc;
+  fc.seed = 0xD373;
+  fc.default_slice.write_failure_prob = 0.2;
+  fc.default_slice.stall_min = from_micros(5);
+  fc.default_slice.stall_max = from_micros(80);
+  fc.resets = {from_millis(40)};
+  return fc;
+}
+
+/// Everything observable about one run, for whole-struct comparison.
+struct RunRecord {
+  std::vector<Time> completions;
+  std::vector<std::vector<Rule>> slices;
+  std::uint64_t plan_failures = 0;
+  std::uint64_t plan_resets = 0;
+  Duration plan_stall = 0;
+
+  bool operator==(const RunRecord&) const = default;
+};
+
+// Drives a raw Asic through a mixed per-op / batch sequence.
+RunRecord drive_asic(std::uint64_t op_seed) {
+  FaultPlan plan(stress_config());
+  tcam::Asic asic(tcam::pica8_p3290(), {64, 256});
+  asic.set_fault_plan(&plan);
+
+  RunRecord rec;
+  std::mt19937_64 rng(op_seed);
+  Time t = 0;
+  net::RuleId next_id = 1;
+  for (int round = 0; round < 30; ++round) {
+    t += from_millis(2);
+    int slice = round % 2;
+    // One per-op insert...
+    rec.completions.push_back(asic.submit(
+        t, slice, {net::FlowModType::kInsert, synth_rule(next_id++, rng)}));
+    // ...and one batch of four (exercises the prefix-truncation path).
+    std::vector<Rule> batch;
+    for (int i = 0; i < 4; ++i) batch.push_back(synth_rule(next_id++, rng));
+    tcam::Asic::BatchResult result;
+    rec.completions.push_back(
+        asic.submit_batch_insert(t, slice, batch, &result));
+    rec.completions.push_back(static_cast<Time>(result.inserted));
+  }
+  for (int s = 0; s < 2; ++s) rec.slices.push_back(asic.slice(s).rules());
+  rec.plan_failures = plan.write_failures();
+  rec.plan_resets = plan.resets_fired();
+  rec.plan_stall = plan.total_stall();
+  return rec;
+}
+
+TEST(FaultDeterminism, AsicRunsAreBitIdentical) {
+  RunRecord a = drive_asic(123);
+  RunRecord b = drive_asic(123);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.plan_failures, 0u);  // the plan actually injected faults
+  EXPECT_EQ(a.plan_resets, 1u);
+}
+
+// Drives a full HermesAgent (retry/backoff, migration requeue,
+// post-reset reconciliation) and records everything fault-related.
+RunRecord drive_agent(std::uint64_t op_seed) {
+  FaultPlan plan(stress_config());
+  core::HermesConfig config;
+  config.token_rate = 1e9;
+  config.token_burst = 1e9;
+  baselines::HermesBackend sw(tcam::pica8_p3290(), 1024, config);
+  sw.set_fault_plan(&plan);
+
+  RunRecord rec;
+  std::mt19937_64 rng(op_seed);
+  Time t = 0;
+  net::RuleId next_id = 1;
+  for (int round = 0; round < 60; ++round) {
+    t += from_millis(2);  // crosses the 40 ms reset mid-run
+    rec.completions.push_back(sw.handle(
+        t, {net::FlowModType::kInsert, synth_rule(next_id++, rng)}));
+    if (round % 7 == 3) {
+      net::Rule victim{next_id - 2, 0, {}, {}};
+      rec.completions.push_back(
+          sw.handle(t, {net::FlowModType::kDelete, victim}));
+    }
+    sw.tick(t);
+  }
+  const core::AgentStats& stats = sw.agent().stats();
+  rec.completions.push_back(static_cast<Time>(stats.retries));
+  rec.completions.push_back(static_cast<Time>(stats.migration_requeues));
+  rec.completions.push_back(static_cast<Time>(stats.reconcile_runs));
+  rec.completions.push_back(
+      static_cast<Time>(stats.reconcile_rules_reinstalled));
+  rec.completions.push_back(static_cast<Time>(stats.failed_ops));
+  for (int s = 0; s < 2; ++s)
+    rec.slices.push_back(sw.agent().asic().slice(s).rules());
+  rec.plan_failures = plan.write_failures();
+  rec.plan_resets = plan.resets_fired();
+  rec.plan_stall = plan.total_stall();
+  return rec;
+}
+
+TEST(FaultDeterminism, AgentRunsAreBitIdentical) {
+  RunRecord a = drive_agent(99);
+  RunRecord b = drive_agent(99);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.plan_failures, 0u);
+  EXPECT_EQ(a.plan_resets, 1u);
+}
+
+TEST(FaultDeterminism, PlainBackendRunsAreBitIdentical) {
+  auto drive = [] {
+    FaultPlanConfig fc = stress_config();
+    fc.resets.clear();  // plain has no reconciliation; keep its table
+    FaultPlan plan(fc);
+    baselines::PlainSwitch sw(tcam::pica8_p3290(), 512);
+    sw.set_fault_plan(&plan);
+    RunRecord rec;
+    std::mt19937_64 rng(5);
+    Time t = 0;
+    for (net::RuleId id = 1; id <= 80; ++id) {
+      t += from_millis(1);
+      rec.completions.push_back(
+          sw.handle(t, {net::FlowModType::kInsert, synth_rule(id, rng)}));
+    }
+    rec.slices.push_back(sw.asic().slice(0).rules());
+    rec.plan_failures = plan.write_failures();
+    rec.plan_stall = plan.total_stall();
+    return rec;
+  };
+  RunRecord a = drive();
+  RunRecord b = drive();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.plan_failures, 0u);
+}
+
+// Full simulator runs with faults enabled reproduce exactly: same
+// fault_seed, same workload -> identical completion times and
+// rule-installation samples (retries are scheduled in virtual time, so
+// nothing depends on the wall clock).
+TEST(FaultDeterminism, SimulationRunsAreBitIdentical) {
+  auto drive = [] {
+    net::Topology topo = net::fat_tree(4);
+    sim::SimConfig config;
+    config.congestion_threshold = 0.5;
+    config.backend_factory = [](net::NodeId, const std::string&) {
+      return std::make_unique<baselines::HermesBackend>(tcam::pica8_p3290(),
+                                                        4000);
+    };
+    config.faults_enabled = true;
+    config.fault_seed = 0xFEED;
+    config.fault_slice.write_failure_prob = 0.15;
+    config.fault_slice.stall_min = from_micros(1);
+    config.fault_slice.stall_max = from_micros(30);
+    config.fault_resets = {from_millis(300)};
+    sim::Simulation simulation(topo, config);
+    auto hosts = topo.hosts();
+    std::vector<workloads::Job> jobs;
+    for (int i = 0; i < 8; ++i) {
+      workloads::Job job;
+      job.id = i;
+      job.arrival = from_millis(i);
+      job.flows.push_back(
+          workloads::FlowSpec{hosts[static_cast<std::size_t>(i % 8)],
+                              hosts[static_cast<std::size_t>(8 + i % 8)],
+                              4e9});
+      jobs.push_back(job);
+    }
+    simulation.add_jobs(jobs);
+    simulation.run();
+    std::pair<std::vector<Duration>, std::vector<Time>> out;
+    out.first = simulation.all_rit_samples();
+    for (const sim::FlowResult& f : simulation.flow_results())
+      out.second.push_back(f.completion);
+    return out;
+  };
+  auto a = drive();
+  auto b = drive();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_FALSE(a.first.empty());
+}
+
+TEST(FaultDeterminism, UnattemptedBatchSuffixBurnsNoDraws) {
+  // The batch path pre-draws failures sequentially and stops at the first
+  // injected one; rules after it must not consume draws, so resubmitting
+  // the suffix sees exactly the schedule a fresh submission would.
+  FaultPlanConfig fc;
+  fc.seed = 31;
+  fc.default_slice.write_failure_prob = 1.0;  // first rule always fails
+  FaultPlan plan(fc);
+  tcam::Asic asic(tcam::pica8_p3290(), {64});
+  asic.set_fault_plan(&plan);
+
+  std::mt19937_64 rng(8);
+  std::vector<Rule> batch;
+  for (net::RuleId id = 1; id <= 10; ++id)
+    batch.push_back(synth_rule(id, rng));
+  tcam::Asic::BatchResult result;
+  asic.submit_batch_insert(0, 0, batch, &result);
+  EXPECT_EQ(result.inserted, 0);
+  EXPECT_EQ(plan.draws(0), 1u);  // only the first rule drew
+}
+
+}  // namespace
+}  // namespace hermes::fault

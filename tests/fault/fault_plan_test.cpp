@@ -1,0 +1,135 @@
+// FaultPlan unit tests: draw statistics, per-slice independence, reset
+// consumption, and the no-draw guarantees that keep benign plans from
+// perturbing the schedule.
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.h"
+
+namespace hermes::fault {
+namespace {
+
+FaultPlanConfig config_with(double prob, std::uint64_t seed = 42) {
+  FaultPlanConfig fc;
+  fc.seed = seed;
+  fc.default_slice.write_failure_prob = prob;
+  return fc;
+}
+
+TEST(FaultPlan, FailureFrequencyTracksProbability) {
+  FaultPlan plan(config_with(0.25));
+  int failures = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i)
+    if (plan.fail_write(0, /*slice=*/0)) ++failures;
+  double rate = static_cast<double>(failures) / draws;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+  EXPECT_EQ(plan.draws(0), static_cast<std::uint64_t>(draws));
+  EXPECT_EQ(plan.write_failures(), static_cast<std::uint64_t>(failures));
+}
+
+TEST(FaultPlan, ZeroProbabilityBurnsNoDraws) {
+  FaultPlan plan(config_with(0.0));
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(plan.fail_write(0, 0));
+  EXPECT_EQ(plan.draws(0), 0u);
+  EXPECT_EQ(plan.write_failures(), 0u);
+}
+
+TEST(FaultPlan, DisabledStallsBurnNoDrawsAndCostNothing) {
+  FaultPlan plan(config_with(0.0));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(plan.stall(0, 0), 0);
+  EXPECT_EQ(plan.draws(0), 0u);
+  EXPECT_EQ(plan.total_stall(), 0);
+}
+
+TEST(FaultPlan, StallsStayWithinConfiguredBounds) {
+  FaultPlanConfig fc;
+  fc.seed = 7;
+  fc.default_slice.stall_min = from_micros(10);
+  fc.default_slice.stall_max = from_micros(50);
+  FaultPlan plan(fc);
+  Duration total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Duration s = plan.stall(0, 0);
+    EXPECT_GE(s, from_micros(10));
+    EXPECT_LE(s, from_micros(50));
+    total += s;
+  }
+  EXPECT_EQ(plan.total_stall(), total);
+  // The mean of U[10us, 50us] is 30us; 1000 draws land close.
+  EXPECT_NEAR(static_cast<double>(total) / 1000,
+              static_cast<double>(from_micros(30)), from_micros(3));
+}
+
+TEST(FaultPlan, SliceOverridesAreIndependent) {
+  FaultPlanConfig fc;
+  fc.seed = 9;
+  fc.default_slice.write_failure_prob = 0.0;
+  fc.slice_overrides.push_back({1, SliceFaults{1.0, 0, 0}});
+  FaultPlan plan(fc);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(plan.fail_write(0, /*slice=*/0));
+    EXPECT_TRUE(plan.fail_write(0, /*slice=*/1));
+  }
+  EXPECT_EQ(plan.draws(0), 0u);   // prob 0 short-circuits
+  EXPECT_EQ(plan.draws(1), 50u);
+  EXPECT_EQ(plan.write_failures(), 50u);
+}
+
+TEST(FaultPlan, DrawsOnOneSliceDoNotShiftAnother) {
+  // Slice schedules come from independent counter streams: consuming
+  // draws on slice 0 must not change what slice 1 sees.
+  FaultPlanConfig fc = config_with(0.5, /*seed=*/77);
+  FaultPlan interleaved(fc);
+  FaultPlan solo(fc);
+  std::vector<bool> interleaved_s1;
+  std::vector<bool> solo_s1;
+  for (int i = 0; i < 200; ++i) {
+    interleaved.fail_write(0, 0);  // extra traffic on slice 0
+    interleaved_s1.push_back(interleaved.fail_write(0, 1));
+    solo_s1.push_back(solo.fail_write(0, 1));
+  }
+  EXPECT_EQ(interleaved_s1, solo_s1);
+}
+
+TEST(FaultPlan, ResetsConsumeInOrderAndOnlyOnce) {
+  FaultPlanConfig fc;
+  fc.resets = {from_millis(1), from_millis(5)};
+  FaultPlan plan(fc);
+  EXPECT_EQ(plan.consume_resets(0), 0);
+  EXPECT_EQ(plan.last_reset_time(), -1);
+  ASSERT_TRUE(plan.next_reset().has_value());
+  EXPECT_EQ(*plan.next_reset(), from_millis(1));
+
+  EXPECT_EQ(plan.consume_resets(from_millis(2)), 1);
+  EXPECT_EQ(plan.last_reset_time(), from_millis(1));
+  EXPECT_EQ(*plan.next_reset(), from_millis(5));
+
+  // Nothing new until the second reset time passes.
+  EXPECT_EQ(plan.consume_resets(from_millis(4)), 0);
+  EXPECT_EQ(plan.consume_resets(from_millis(10)), 1);
+  EXPECT_EQ(plan.last_reset_time(), from_millis(5));
+  EXPECT_FALSE(plan.next_reset().has_value());
+  EXPECT_EQ(plan.consume_resets(from_seconds(1)), 0);
+  EXPECT_EQ(plan.resets_fired(), 2u);
+}
+
+TEST(FaultPlan, BothResetsFireAtOnceWhenPolledLate) {
+  FaultPlanConfig fc;
+  fc.resets = {from_millis(1), from_millis(5)};
+  FaultPlan plan(fc);
+  EXPECT_EQ(plan.consume_resets(from_millis(10)), 2);
+  EXPECT_EQ(plan.last_reset_time(), from_millis(5));
+  EXPECT_EQ(plan.resets_fired(), 2u);
+}
+
+TEST(FaultPlan, DifferentSeedsProduceDifferentSchedules) {
+  FaultPlan a(config_with(0.5, 1));
+  FaultPlan b(config_with(0.5, 2));
+  bool diverged = false;
+  for (int i = 0; i < 256 && !diverged; ++i)
+    diverged = a.fail_write(0, 0) != b.fail_write(0, 0);
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace hermes::fault

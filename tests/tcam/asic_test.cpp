@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "fault/fault_plan.h"
+
 namespace hermes::tcam {
 namespace {
 
@@ -154,6 +158,50 @@ TEST(Asic, ResetChannelClearsBusyTime) {
   EXPECT_GT(asic.busy_until(0), 0);
   asic.reset_channel();
   EXPECT_EQ(asic.busy_until(0), 0);
+}
+
+TEST(Asic, ResetChannelStartsFreshMeasurementEpoch) {
+  // reset_channel() starts a fresh measurement epoch: busy times AND the
+  // per-slice channel-occupation stats go to zero, while slice contents
+  // and the attached fault plan's draw/reset cursors are untouched (the
+  // header documents these epoch semantics).
+  fault::FaultPlanConfig fc;
+  fc.seed = 11;
+  fc.default_slice.write_failure_prob = 0.4;
+  fc.default_slice.stall_min = from_micros(1);
+  fc.default_slice.stall_max = from_micros(5);
+  fault::FaultPlan plan(fc);
+  Asic asic(pica8_p3290(), {32});
+  asic.set_fault_plan(&plan);
+
+  for (int i = 1; i <= 10; ++i) {
+    asic.submit(0, 0, {FlowModType::kInsert,
+                       make_rule(i, 1, std::to_string(i + 9) + ".0.0.0/8")});
+  }
+  const Asic::ChannelStats& before = asic.channel_stats(0);
+  ASSERT_GT(before.ops, 0u);
+  ASSERT_GT(before.busy_ns, 0);
+  ASSERT_GT(before.stall_ns, 0);
+  ASSERT_GT(before.injected_failures, 0u);
+  int occupancy = asic.slice(0).occupancy();
+  std::uint64_t draws = plan.draws(0);
+  ASSERT_GT(occupancy, 0);
+
+  asic.reset_channel();
+
+  const Asic::ChannelStats& after = asic.channel_stats(0);
+  EXPECT_EQ(after.ops, 0u);
+  EXPECT_EQ(after.busy_ns, 0);
+  EXPECT_EQ(after.stall_ns, 0);
+  EXPECT_EQ(after.injected_failures, 0u);
+  EXPECT_EQ(asic.busy_until(0), 0);
+  // Deliberately NOT reset: slice contents and the plan's schedule.
+  EXPECT_EQ(asic.slice(0).occupancy(), occupancy);
+  EXPECT_EQ(plan.draws(0), draws);
+
+  // The next epoch accumulates from zero.
+  asic.submit(0, 0, {FlowModType::kInsert, make_rule(99, 1, "99.0.0.0/8")});
+  EXPECT_EQ(asic.channel_stats(0).ops, 1u);
 }
 
 TEST(Asic, FailedInsertStillChargesChannelTime) {

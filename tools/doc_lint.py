@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Lint the repo docs against the tree they describe.
+
+Usage:
+    doc_lint.py [REPO_ROOT]
+
+Checks (all of them; exit 1 if any reference is broken):
+
+  1. Every `bench_<name>` binary mentioned in README.md / EXPERIMENTS.md /
+     DESIGN.md has a source file bench/<name>.cpp.
+  2. Every repo-rooted path in backticks (src/..., tests/..., tools/...,
+     bench/..., docs/..., examples/...) in those documents exists --
+     trailing "/" means a directory, otherwise a file.
+  3. Every derived-metric name from a BENCH_*.json baseline that CI gates
+     (the `bench_compare.py bench/baselines/...` invocations in
+     .github/workflows/ci.yml) appears literally in EXPERIMENTS.md, so
+     the gated numbers stay explained.
+
+The point is cheap honesty: docs routinely outlive renames, and a stale
+`bench_foo` or dead path is invisible until a reader trips on it. This
+runs as a tier-1 ctest (`doc_lint_py`) and as the CI doc-lint job.
+"""
+
+import json
+import re
+import signal
+import sys
+from pathlib import Path
+
+# Die quietly when piped into `head` instead of raising BrokenPipeError.
+if hasattr(signal, "SIGPIPE"):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+DOCS = ("README.md", "EXPERIMENTS.md", "DESIGN.md")
+
+# bench_<name> tokens NOT followed by "." (which would make them file
+# names like bench_compare.py or bench_output.txt, checked as paths).
+BENCH_TOKEN = re.compile(r"\bbench_[a-z0-9_]+\b(?!\.)")
+
+# Backtick-quoted, repo-rooted paths. Only top-level directories that are
+# part of the tree are considered; `build/...` outputs and bare file
+# names are intentionally out of scope.
+PATH_TOKEN = re.compile(
+    r"`((?:src|tests|tools|bench|docs|examples)/[A-Za-z0-9_.\-/]*)`"
+)
+
+# CI-gated baselines: the files bench_compare.py is pointed at.
+GATED_BASELINE = re.compile(r"bench_compare\.py\s+(bench/baselines/\S+\.json)")
+
+
+def lint(root: Path) -> list[str]:
+    errors = []
+    texts = {}
+    for name in DOCS:
+        path = root / name
+        if not path.is_file():
+            errors.append(f"{name}: document missing")
+            continue
+        texts[name] = path.read_text(encoding="utf-8")
+
+    for name, text in texts.items():
+        for tok in sorted(set(BENCH_TOKEN.findall(text))):
+            if not (root / "bench" / f"{tok}.cpp").is_file():
+                errors.append(f"{name}: `{tok}` has no bench/{tok}.cpp")
+        for tok in sorted(set(PATH_TOKEN.findall(text))):
+            target = root / tok
+            if tok.endswith("/"):
+                if not target.is_dir():
+                    errors.append(f"{name}: directory `{tok}` does not exist")
+            elif not target.exists():
+                errors.append(f"{name}: path `{tok}` does not exist")
+
+    ci = root / ".github" / "workflows" / "ci.yml"
+    experiments = texts.get("EXPERIMENTS.md", "")
+    if not ci.is_file():
+        errors.append(".github/workflows/ci.yml: missing")
+    else:
+        gated = sorted(set(GATED_BASELINE.findall(ci.read_text(encoding="utf-8"))))
+        if not gated:
+            errors.append("ci.yml: no bench_compare.py gates found")
+        for rel in gated:
+            baseline = root / rel
+            if not baseline.is_file():
+                errors.append(f"ci.yml: gated baseline {rel} does not exist")
+                continue
+            try:
+                derived = json.loads(baseline.read_text(encoding="utf-8"))["derived"]
+            except (json.JSONDecodeError, KeyError) as exc:
+                errors.append(f"{rel}: unreadable derived metrics ({exc})")
+                continue
+            for key in sorted(derived):
+                if key not in experiments:
+                    errors.append(
+                        f"EXPERIMENTS.md: gated metric `{key}` ({rel}) "
+                        "is never mentioned"
+                    )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    errors = lint(root)
+    for err in errors:
+        print(f"doc_lint: {err}", file=sys.stderr)
+    if errors:
+        print(f"doc_lint: {len(errors)} broken reference(s)", file=sys.stderr)
+        return 1
+    print(f"doc_lint: OK ({', '.join(DOCS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
