@@ -162,6 +162,9 @@ class RecordingBackend final : public baselines::SwitchBackend {
   std::optional<net::Rule> lookup(net::Ipv4Address) override {
     return std::nullopt;
   }
+  const net::Rule* lookup_ptr(Time, net::Ipv4Address) override {
+    return nullptr;
+  }
   std::string_view name() const override { return "recorder"; }
   const std::vector<Duration>& rit_samples() const override { return rit_; }
   void clear_rit_samples() override { rit_.clear(); }

@@ -30,7 +30,9 @@ class EspresSwitch final : public SwitchBackend {
   /// deadline); deletes/modifies pass through at per-op cost.
   Time handle_batch(Time now, net::FlowModBatch& batch) override;
   void tick(Time now) override;
+  using SwitchBackend::lookup;
   std::optional<net::Rule> lookup(net::Ipv4Address addr) override;
+  const net::Rule* lookup_ptr(Time now, net::Ipv4Address addr) override;
   std::string_view name() const override { return "ESPRES"; }
   const std::vector<Duration>& rit_samples() const override {
     return rit_samples_;

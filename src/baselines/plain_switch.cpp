@@ -47,4 +47,8 @@ std::optional<net::Rule> PlainSwitch::lookup(net::Ipv4Address addr) {
   return asic_.lookup(addr);
 }
 
+const net::Rule* PlainSwitch::lookup_ptr(Time now, net::Ipv4Address addr) {
+  return asic_.lookup_ptr(now, addr);
+}
+
 }  // namespace hermes::baselines

@@ -22,7 +22,9 @@ class PlainSwitch final : public SwitchBackend {
   /// each result slot gets the real per-op outcome.
   Time handle_batch(Time now, net::FlowModBatch& batch) override;
   void tick(Time /*now*/) override {}
+  using SwitchBackend::lookup;
   std::optional<net::Rule> lookup(net::Ipv4Address addr) override;
+  const net::Rule* lookup_ptr(Time now, net::Ipv4Address addr) override;
   std::string_view name() const override { return name_; }
   const std::vector<Duration>& rit_samples() const override {
     return rit_samples_;

@@ -13,23 +13,36 @@ ShadowSwitchBackend::ShadowSwitchBackend(const tcam::SwitchModel& model,
       flush_period_(flush_period),
       next_flush_(flush_period) {}
 
+bool ShadowSwitchBackend::software_erase(net::RuleId id) {
+  auto it = software_.find(id);
+  if (it == software_.end()) return false;
+  sw_engine_.erase(it->second);
+  software_.erase(it);
+  return true;
+}
+
+void ShadowSwitchBackend::software_install(const net::Rule& rule) {
+  software_erase(rule.id);
+  software_.emplace(rule.id, rule);
+  sw_engine_.insert(rule, sw_seq_++);
+}
+
 Time ShadowSwitchBackend::handle(Time now, const net::FlowMod& mod) {
   switch (mod.type) {
     case net::FlowModType::kInsert: {
       // The control-plane action completes at software speed — that is
       // ShadowSwitch's whole point.
-      software_[mod.rule.id] = mod.rule;
+      software_install(mod.rule);
       rit_samples_.push_back(software_insert_);
       return now + software_insert_;
     }
     case net::FlowModType::kDelete: {
-      if (software_.erase(mod.rule.id) > 0) return now + software_insert_;
+      if (software_erase(mod.rule.id)) return now + software_insert_;
       return asic_.submit(now, 0, mod);
     }
     case net::FlowModType::kModify: {
-      auto it = software_.find(mod.rule.id);
-      if (it != software_.end()) {
-        it->second = mod.rule;
+      if (software_.count(mod.rule.id) > 0) {
+        software_install(mod.rule);
         return now + software_insert_;
       }
       return asic_.submit(now, 0, mod);
@@ -58,23 +71,28 @@ Time ShadowSwitchBackend::flush(Time now) {
   Time done = asic_.submit_batch_insert(now, 0, batch, &result);
   // Whatever fit leaves software; the rest stays for the next flush.
   for (int i = 0; i < result.inserted; ++i)
-    software_.erase(batch[static_cast<std::size_t>(i)].id);
+    software_erase(batch[static_cast<std::size_t>(i)].id);
   return done;
 }
 
 std::optional<net::Rule> ShadowSwitchBackend::lookup(net::Ipv4Address addr) {
   // Hardware first; software entries are matched too (slow path), with
-  // standard highest-priority-wins semantics across both.
+  // standard highest-priority-wins semantics across both. Hardware wins
+  // priority ties (the TCAM answers before the slow path).
   auto hw = asic_.lookup(addr);
-  const net::Rule* sw = nullptr;
-  for (const auto& [id, rule] : software_) {
-    if (!rule.match.contains(addr)) continue;
-    if (!sw || rule.priority > sw->priority) sw = &rule;
-  }
+  const net::Rule* sw = sw_engine_.lookup(addr);
   if (hw && sw) return hw->priority >= sw->priority ? *hw : *sw;
   if (hw) return hw;
   if (sw) return *sw;
   return std::nullopt;
+}
+
+const net::Rule* ShadowSwitchBackend::lookup_ptr(Time now,
+                                                 net::Ipv4Address addr) {
+  const net::Rule* hw = asic_.lookup_ptr(now, addr);
+  const net::Rule* sw = sw_engine_.lookup(addr);
+  if (hw && sw) return hw->priority >= sw->priority ? hw : sw;
+  return hw != nullptr ? hw : sw;
 }
 
 }  // namespace hermes::baselines

@@ -15,6 +15,7 @@
 
 #include "baselines/switch_backend.h"
 #include "tcam/asic.h"
+#include "tcam/lookup_engine.h"
 
 namespace hermes::baselines {
 
@@ -29,7 +30,9 @@ class ShadowSwitchBackend final : public SwitchBackend {
 
   Time handle(Time now, const net::FlowMod& mod) override;
   void tick(Time now) override;
+  using SwitchBackend::lookup;
   std::optional<net::Rule> lookup(net::Ipv4Address addr) override;
+  const net::Rule* lookup_ptr(Time now, net::Ipv4Address addr) override;
   std::string_view name() const override { return "ShadowSwitch"; }
   const std::vector<Duration>& rit_samples() const override {
     return rit_samples_;
@@ -57,11 +60,23 @@ class ShadowSwitchBackend final : public SwitchBackend {
   Time flush(Time now);
 
  private:
+  /// Removes `id` from the software table AND its lookup engine.
+  /// Returns true if it was software-resident.
+  bool software_erase(net::RuleId id);
+  /// Installs `rule` in the software table AND its lookup engine,
+  /// replacing any software-resident rule with the same id.
+  void software_install(const net::Rule& rule);
+
   tcam::Asic asic_;
   Duration software_insert_;
   Duration flush_period_;
   Time next_flush_ = 0;
   std::unordered_map<net::RuleId, net::Rule> software_;
+  /// Classification index over `software_`: replaces the per-packet
+  /// linear map scan on the slow path. Priority ties resolve to earliest
+  /// software arrival (deterministic, unlike map iteration order).
+  tcam::LookupEngine sw_engine_;
+  std::uint64_t sw_seq_ = 0;
   std::vector<Duration> rit_samples_;
 };
 

@@ -51,8 +51,24 @@ class SwitchBackend {
   /// Call with non-decreasing `now`.
   virtual void tick(Time now) = 0;
 
-  /// Data-plane lookup against the currently installed rules.
+  /// Data-plane lookup against the currently installed rules, as of the
+  /// backend's last activity (scheduled resets not applied). Copies the
+  /// rule; prefer the time-threaded zero-copy path below on hot paths.
   virtual std::optional<net::Rule> lookup(net::Ipv4Address addr) = 0;
+
+  /// Zero-copy data-plane lookup at simulation time `now`: applies any
+  /// scheduled switch reset that fired at-or-before `now` first, so the
+  /// data plane observes a wipe immediately. The pointer is invalidated
+  /// by any subsequent control-plane activity; use it immediately.
+  virtual const net::Rule* lookup_ptr(Time now, net::Ipv4Address addr) = 0;
+
+  /// Copying convenience over lookup_ptr(now, addr). (Derived classes
+  /// re-expose the whole overload set with `using SwitchBackend::lookup`.)
+  std::optional<net::Rule> lookup(Time now, net::Ipv4Address addr) {
+    const net::Rule* r = lookup_ptr(now, addr);
+    if (r == nullptr) return std::nullopt;
+    return *r;
+  }
 
   virtual std::string_view name() const = 0;
 

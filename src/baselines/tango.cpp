@@ -198,4 +198,8 @@ std::optional<net::Rule> TangoSwitch::lookup(net::Ipv4Address addr) {
   return asic_.lookup(addr);
 }
 
+const net::Rule* TangoSwitch::lookup_ptr(Time now, net::Ipv4Address addr) {
+  return asic_.lookup_ptr(now, addr);
+}
+
 }  // namespace hermes::baselines

@@ -632,6 +632,18 @@ std::optional<net::Rule> HermesAgent::lookup(net::Ipv4Address addr) {
   return asic_.lookup(addr);
 }
 
+const net::Rule* HermesAgent::lookup_ptr(net::Ipv4Address addr) {
+  return asic_.lookup_ptr(addr);
+}
+
+std::optional<net::Rule> HermesAgent::lookup(Time now, net::Ipv4Address addr) {
+  return asic_.lookup(now, addr);
+}
+
+const net::Rule* HermesAgent::lookup_ptr(Time now, net::Ipv4Address addr) {
+  return asic_.lookup_ptr(now, addr);
+}
+
 // --- Correctness maintenance --------------------------------------------------
 
 void HermesAgent::repartition_shadow_overlaps(Time now,

@@ -110,7 +110,16 @@ class HermesAgent {
   Time migrate_now(Time now);
 
   // --- Data plane ---------------------------------------------------------
+  /// Timeless lookup: state as of the last channel activity. Copies.
   std::optional<net::Rule> lookup(net::Ipv4Address addr);
+  /// Zero-copy timeless lookup; the pointer is invalidated by any
+  /// subsequent control-plane activity.
+  const net::Rule* lookup_ptr(net::Ipv4Address addr);
+  /// Time-threaded lookup: applies any scheduled reset that fired
+  /// at-or-before `now` before matching (the data plane observes a wipe
+  /// immediately).
+  std::optional<net::Rule> lookup(Time now, net::Ipv4Address addr);
+  const net::Rule* lookup_ptr(Time now, net::Ipv4Address addr);
 
   // --- Introspection --------------------------------------------------------
   Duration guarantee() const { return config_.guarantee; }

@@ -32,7 +32,7 @@ MultiTablePipeline::PipelineResult MultiTablePipeline::process(
   PipelineResult result;
   for (int idx = 0; idx < table_count(); ++idx) {
     result.table = idx;
-    auto hit = agents_[static_cast<std::size_t>(idx)]->lookup(addr);
+    const net::Rule* hit = agents_[static_cast<std::size_t>(idx)]->lookup_ptr(addr);
     if (hit) {
       result.rule = hit->id;
       switch (hit->action.type) {

@@ -38,7 +38,14 @@ int Asic::total_occupancy() const {
   return total;
 }
 
-ApplyResult Asic::apply(int slice_idx, const net::FlowMod& mod) {
+bool Asic::modify_changes_priority(int slice_idx,
+                                   const net::FlowMod& mod) const {
+  const net::Rule* existing = slice(slice_idx).find_ptr(mod.rule.id);
+  return existing != nullptr && existing->priority != mod.rule.priority;
+}
+
+ApplyResult Asic::apply(int slice_idx, const net::FlowMod& mod,
+                        bool inject_insert_failure) {
   TcamTable& table = slice(slice_idx);
   switch (mod.type) {
     case net::FlowModType::kInsert: {
@@ -61,10 +68,25 @@ ApplyResult Asic::apply(int slice_idx, const net::FlowMod& mod) {
         table.modify_action(mod.rule.id, mod.rule.action);
         return {true, model_->modify_latency(), 0};
       }
-      // Priority change: delete + insert (Section 4.1).
+      // Priority change: delete + insert (Section 4.1). The delete always
+      // lands, so a failed re-insert must restore the original rule —
+      // otherwise the modify silently deletes it and retries fail at the
+      // find above.
+      net::Rule original = *existing;
       table.erase(mod.rule.id);
-      OpResult ins = table.insert(mod.rule);
-      return {ins.ok,
+      OpResult ins = inject_insert_failure ? OpResult{false, 0}
+                                           : table.insert(mod.rule);
+      if (!ins.ok) {
+        OpResult back = table.insert(original);
+        assert(back.ok);  // the erase freed the slot
+        obs_modify_rollbacks_.inc();
+        // Charged: the delete, the wasted insert round, and the restore.
+        return {false,
+                model_->delete_latency() + model_->base_latency() +
+                    model_->insert_latency(back.shifts),
+                back.shifts};
+      }
+      return {true,
               model_->delete_latency() + model_->insert_latency(ins.shifts),
               ins.shifts};
     }
@@ -73,10 +95,27 @@ ApplyResult Asic::apply(int slice_idx, const net::FlowMod& mod) {
 }
 
 std::optional<net::Rule> Asic::lookup(net::Ipv4Address addr) {
+  const net::Rule* r = lookup_ptr(addr);
+  if (r == nullptr) return std::nullopt;
+  return *r;
+}
+
+const net::Rule* Asic::lookup_ptr(net::Ipv4Address addr) {
   for (TcamTable& t : slices_) {
-    if (auto rule = t.lookup(addr)) return rule;
+    if (const net::Rule* r = t.lookup_ptr(addr)) return r;
   }
-  return std::nullopt;
+  return nullptr;
+}
+
+std::optional<net::Rule> Asic::lookup(Time now, net::Ipv4Address addr) {
+  const net::Rule* r = lookup_ptr(now, addr);
+  if (r == nullptr) return std::nullopt;
+  return *r;
+}
+
+const net::Rule* Asic::lookup_ptr(Time now, net::Ipv4Address addr) {
+  apply_pending_resets(now);
+  return lookup_ptr(addr);
 }
 
 Time Asic::submit_batch_insert(Time now, int slice_idx,
@@ -185,14 +224,25 @@ Time Asic::submit(Time now, int slice_idx, const net::FlowMod& mod,
   apply_pending_resets(now);
   ChannelStats& cs = channel_stats_[static_cast<std::size_t>(slice_idx)];
   ApplyResult r;
-  if (fault_plan_ != nullptr && mod.type == net::FlowModType::kInsert &&
-      fault_plan_->fail_write(now, slice_idx)) {
+  // A write-failure draw is burned only for ops that reach the TCAM
+  // insert step: every insert (as before) and a priority-changing modify
+  // of a resident rule. In-place modifies and deletes burn no draw, so
+  // existing replay sequences are unchanged.
+  bool inject =
+      fault_plan_ != nullptr &&
+      (mod.type == net::FlowModType::kInsert ||
+       (mod.type == net::FlowModType::kModify &&
+        modify_changes_priority(slice_idx, mod))) &&
+      fault_plan_->fail_write(now, slice_idx);
+  if (inject) ++cs.injected_failures;
+  if (inject && mod.type == net::FlowModType::kInsert) {
     // Injected write failure: the attempt still costs a wasted
     // control-channel round, same as an organic rejection.
     r = {false, model_->base_latency(), 0};
-    ++cs.injected_failures;
   } else {
-    r = apply(slice_idx, mod);
+    // For a modify the failure strikes the re-insert inside apply(),
+    // which rolls the original rule back.
+    r = apply(slice_idx, mod, /*inject_insert_failure=*/inject);
   }
   if (fault_plan_ != nullptr) {
     Duration stall = fault_plan_->stall(now, slice_idx);

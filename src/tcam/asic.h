@@ -50,12 +50,30 @@ class Asic {
 
   /// Executes one flow-mod against slice `slice_idx` and returns its
   /// mechanics + latency. A modify that changes priority is decomposed
-  /// into delete + insert (Section 4.1, "Rule Modification").
-  ApplyResult apply(int slice_idx, const net::FlowMod& mod);
+  /// into delete + insert (Section 4.1, "Rule Modification"); if the
+  /// re-insert fails, the original rule is restored (counted as
+  /// `asic.modify_rollbacks`) so a failed modify never loses the rule.
+  /// `inject_insert_failure` forces that re-insert to fail (the fault
+  /// plan's write-failure verdict, threaded through from submit()).
+  ApplyResult apply(int slice_idx, const net::FlowMod& mod,
+                    bool inject_insert_failure = false);
 
-  /// Data-plane lookup: parallel across slices, precedence by slice index
-  /// (slice 0 wins). This is how the hardware resolves shadow-vs-main.
+  /// Data-plane lookup at simulation time `now`: applies any scheduled
+  /// reset that has already fired (the data plane observes the wipe
+  /// immediately, not at the next control-plane op), then looks up
+  /// parallel across slices with precedence by slice index (slice 0
+  /// wins — how the hardware resolves shadow-vs-main).
+  std::optional<net::Rule> lookup(Time now, net::Ipv4Address addr);
+  /// Zero-copy variant of the time-threaded lookup. The pointer is
+  /// invalidated by any subsequent table mutation; use it immediately.
+  const net::Rule* lookup_ptr(Time now, net::Ipv4Address addr);
+
+  /// Timeless lookup: state as of the last channel activity (scheduled
+  /// resets NOT applied). Kept for callers that carry no clock; prefer
+  /// the time-threaded overloads on any data-plane path.
   std::optional<net::Rule> lookup(net::Ipv4Address addr);
+  /// Zero-copy timeless lookup (same reset caveat as above).
+  const net::Rule* lookup_ptr(net::Ipv4Address addr);
 
   /// Serialized control channel: each slice is a separate logical group in
   /// the SDK with its own update engine, so updates serialize per slice.
@@ -130,17 +148,21 @@ class Asic {
   fault::FaultPlan* fault_plan() const { return fault_plan_; }
 
   /// Scheduled resets apply LAZILY: the wipe happens at the first channel
-  /// activity (submit/batch/poll) at-or-after the reset time, wiping every
-  /// slice and freeing the channels from the reset instant. Each applied
-  /// reset bumps `reset_epoch()` — agents poll it to trigger
-  /// reconciliation (data-plane lookups between the reset time and the
-  /// next activity still see pre-reset state; acceptable at the modeled
-  /// granularity, documented in DESIGN.md).
+  /// OR data-plane activity (submit/batch/poll/time-threaded lookup)
+  /// at-or-after the reset time, wiping every slice and freeing the
+  /// channels from the reset instant. Each applied reset bumps
+  /// `reset_epoch()` — agents poll it to trigger reconciliation. Only the
+  /// timeless lookup(addr) overloads still see pre-reset state between
+  /// the reset time and the next activity (they carry no clock).
   void poll(Time now) { apply_pending_resets(now); }
   int reset_epoch() const { return reset_epoch_; }
 
  private:
   void apply_pending_resets(Time now);
+  /// True iff `mod` is a modify of a resident rule to a different
+  /// priority — the only modify shape that reaches the TCAM insert step
+  /// (and hence the only one that burns a write-failure draw).
+  bool modify_changes_priority(int slice_idx, const net::FlowMod& mod) const;
 
   const SwitchModel* model_;
   std::vector<TcamTable> slices_;
@@ -160,6 +182,8 @@ class Asic {
   obs::Counter obs_batch_ops_ = obs::attached_counter("asic.batch_ops");
   obs::Counter obs_batch_rules_ =
       obs::attached_counter("asic.batch_rules");
+  obs::Counter obs_modify_rollbacks_ =
+      obs::attached_counter("asic.modify_rollbacks");
 };
 
 }  // namespace hermes::tcam

@@ -47,6 +47,7 @@ OpResult TcamTable::insert(const net::Rule& rule) {
   int shifts = static_cast<int>(entries_.end() - pos);
   entries_.insert(pos, rule);
   priority_of_.emplace(rule.id, rule.priority);
+  engine_.insert(rule, seq_++);
   ++stats_.inserts;
   stats_.total_shifts += static_cast<std::uint64_t>(shifts);
   obs_inserts_.inc();
@@ -131,8 +132,12 @@ TcamTable::BatchInsertResult TcamTable::insert_batch(
     }
   }
 
+  // Engine stamps follow batch order: equal-priority batch rules land in
+  // batch arrival order below equal-priority residents, exactly like the
+  // sequential insert loop.
   for (std::size_t i : accepted) {
     priority_of_.emplace(rules[i].id, rules[i].priority);
+    engine_.insert(rules[i], seq_++);
     out.total_shifts += static_cast<std::uint64_t>(shifts_of[i]);
   }
   out.inserted = static_cast<int>(k);
@@ -146,6 +151,7 @@ TcamTable::BatchInsertResult TcamTable::insert_batch(
 OpResult TcamTable::erase(net::RuleId id) {
   std::size_t slot = locate(id);
   if (slot == kNoSlot) return {false, 0};
+  engine_.erase(entries_[slot]);
   entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(slot));
   priority_of_.erase(id);
   ++stats_.deletes;
@@ -156,6 +162,7 @@ OpResult TcamTable::erase(net::RuleId id) {
 OpResult TcamTable::modify_action(net::RuleId id, const net::Action& action) {
   std::size_t slot = locate(id);
   if (slot == kNoSlot) return {false, 0};
+  engine_.modify_action(entries_[slot], action);
   entries_[slot].action = action;
   ++stats_.modifies;
   obs_modifies_.inc();
@@ -165,6 +172,9 @@ OpResult TcamTable::modify_action(net::RuleId id, const net::Action& action) {
 OpResult TcamTable::modify_match(net::RuleId id, const net::Prefix& match) {
   std::size_t slot = locate(id);
   if (slot == kNoSlot) return {false, 0};
+  // Re-keys the engine node in place, preserving its arrival stamp (the
+  // entry keeps its slot, so its tie-break position must not move).
+  engine_.modify_match(entries_[slot], match);
   entries_[slot].match = match;
   ++stats_.modifies;
   obs_modifies_.inc();
@@ -172,9 +182,23 @@ OpResult TcamTable::modify_match(net::RuleId id, const net::Prefix& match) {
 }
 
 std::optional<net::Rule> TcamTable::lookup(net::Ipv4Address addr) {
+  const net::Rule* r = lookup_ptr(addr);
+  if (r == nullptr) return std::nullopt;
+  return *r;
+}
+
+const net::Rule* TcamTable::lookup_ptr(net::Ipv4Address addr) {
   ++stats_.lookups;
   obs_lookups_.inc();
-  return peek(addr);
+  int probed = 0;
+  const net::Rule* r = engine_.lookup(addr, &probed);
+  obs_lookup_probes_.record(static_cast<std::uint64_t>(probed));
+  if (r != nullptr) {
+    obs_lookup_hits_.inc();
+  } else {
+    obs_lookup_misses_.inc();
+  }
+  return r;
 }
 
 std::optional<net::Rule> TcamTable::peek(net::Ipv4Address addr) const {
@@ -204,6 +228,7 @@ std::vector<net::Rule> TcamTable::rules() const { return entries_; }
 void TcamTable::clear() {
   entries_.clear();
   priority_of_.clear();
+  engine_.clear();
 }
 
 bool TcamTable::check_invariant() const {
@@ -218,6 +243,9 @@ bool TcamTable::check_invariant() const {
     auto it = priority_of_.find(r.id);
     if (it == priority_of_.end() || it->second != r.priority) return false;
   }
+  // Engine <-> array agreement: same population, structurally sound.
+  if (engine_.size() != entries_.size()) return false;
+  if (!engine_.check_invariant()) return false;
   return true;
 }
 

@@ -35,6 +35,7 @@
 #include "net/ipv4.h"
 #include "net/rule.h"
 #include "obs/metrics.h"
+#include "tcam/lookup_engine.h"
 
 namespace hermes::tcam {
 
@@ -116,9 +117,17 @@ class TcamTable {
 
   /// First-match lookup (what the hardware does). Returns the matching
   /// rule closest to the top, which by the invariant is a highest-priority
-  /// match. Counts toward stats.
+  /// match. Served by the tuple-space LookupEngine (maintained
+  /// incrementally by every mutation — never rebuilt); copies the rule.
+  /// Counts toward stats and the tcam.lookup.* metrics.
   std::optional<net::Rule> lookup(net::Ipv4Address addr);
-  /// Lookup without statistics side effects (for tests/oracles).
+  /// Zero-copy first-match lookup: same semantics and accounting as
+  /// lookup(), without the per-packet Rule copy. The pointer is
+  /// invalidated by any table mutation; use it immediately.
+  const net::Rule* lookup_ptr(net::Ipv4Address addr);
+  /// Linear first-match scan without statistics side effects — the
+  /// frozen reference semantics, kept as the differential-test oracle
+  /// for the engine (tests/tcam/lookup_engine_test.cpp).
   std::optional<net::Rule> peek(net::Ipv4Address addr) const;
 
   /// O(1) id membership test via the id index.
@@ -151,8 +160,12 @@ class TcamTable {
   const TableStats& stats() const { return stats_; }
 
   /// Validates the physical-order invariant AND id-index <-> array
-  /// agreement; used by tests.
+  /// agreement AND lookup-engine <-> array agreement; used by tests.
   bool check_invariant() const;
+
+  /// The classification engine backing lookup()/lookup_ptr() (exposed
+  /// read-only for tests and benches).
+  const LookupEngine& engine() const { return engine_; }
 
  private:
   static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
@@ -164,6 +177,8 @@ class TcamTable {
   int capacity_;
   std::vector<net::Rule> entries_;  // compact, non-increasing priority
   std::unordered_map<net::RuleId, int> priority_of_;  // id -> priority
+  LookupEngine engine_;     // classification index over entries_
+  std::uint64_t seq_ = 0;   // arrival stamps for the engine's tie-break
   TableStats stats_;
 
   // Pipeline-wide aggregate counters (obs layer). Captured from the
@@ -177,6 +192,11 @@ class TcamTable {
       obs::attached_counter("tcam.failed_inserts");
   obs::Counter obs_shifts_ = obs::attached_counter("tcam.shifts");
   obs::Counter obs_lookups_ = obs::attached_counter("tcam.lookups");
+  obs::Counter obs_lookup_hits_ = obs::attached_counter("tcam.lookup.hits");
+  obs::Counter obs_lookup_misses_ =
+      obs::attached_counter("tcam.lookup.misses");
+  obs::Histogram obs_lookup_probes_ =
+      obs::attached_histogram("tcam.lookup.buckets_probed");
   obs::Histogram obs_batch_size_ =
       obs::attached_histogram("tcam.batch_insert_size");
 };
