@@ -46,7 +46,11 @@ bool TokenBucket::try_take(Time now) {
 int TokenBucket::try_take_n(Time now, int n) {
   if (n <= 0) return 0;
   refill(now);
-  int taken = std::min(n, static_cast<int>(std::floor(tokens_)));
+  // Compare in double space before narrowing: floor(tokens_) exceeds
+  // INT_MAX for large bursts, and casting such a value to int is UB. The
+  // cast only happens on the branch where whole < n, so it always fits.
+  double whole = std::floor(tokens_);
+  int taken = whole < static_cast<double>(n) ? static_cast<int>(whole) : n;
   tokens_ -= static_cast<double>(taken);
   return taken;
 }
@@ -121,12 +125,26 @@ std::vector<Route> GateKeeper::route_insert_batch(
     Time now, std::span<const net::Rule> rules, const RouteContext& ctx) {
   if (rules.empty()) return {};  // no decision made, nothing recorded
   std::vector<Route> routes(rules.size(), Route::kMainUnmatched);
-  // Pass 1: every check except the token bucket, in batch order, against a
-  // running capacity view — each tentatively-guaranteed rule claims
-  // ctx.pieces_needed shadow slots so later rules see the remainder.
-  std::vector<std::size_t> token_candidates;
-  token_candidates.reserve(rules.size());
+  // The token budget for the whole transaction is known up front: the
+  // whole tokens the bucket holds at `now`, clamped to the batch size so
+  // the double->int narrowing is always in range. Knowing the budget
+  // before the capacity pass matters for correctness: a rule that routes
+  // kMainOverRate must not hold shadow slots (the per-op path consumes
+  // nothing for over-rate rules), otherwise later rules in the same batch
+  // see kMainShadowFull where the sequential oracle admits them.
+  double whole_tokens = std::floor(bucket_.available(now));
+  int budget =
+      whole_tokens < static_cast<double>(rules.size())
+          ? static_cast<int>(std::max(whole_tokens, 0.0))
+          : static_cast<int>(rules.size());
+  // One pass in batch order against a running capacity view: a rule
+  // becomes guaranteed only while both shadow slots AND token budget
+  // remain, and only then claims ctx.pieces_needed slots. The split under
+  // token shortage is deterministic: the FIRST `budget` eligible rules
+  // stay guaranteed, the tail routes kMainOverRate without touching the
+  // capacity view.
   int shadow_free = ctx.shadow_free;
+  int taken = 0;
   for (std::size_t i = 0; i < rules.size(); ++i) {
     const net::Rule& rule = rules[i];
     if (config_->predicate && !config_->predicate(rule)) {
@@ -136,22 +154,21 @@ std::vector<Route> GateKeeper::route_insert_batch(
       routes[i] = Route::kMainLowestPrio;
     } else if (ctx.pieces_needed > shadow_free) {
       routes[i] = Route::kMainShadowFull;
+    } else if (taken >= budget) {
+      routes[i] = Route::kMainOverRate;
     } else {
       shadow_free -= ctx.pieces_needed;
+      ++taken;
       routes[i] = Route::kGuaranteed;
-      token_candidates.push_back(i);
     }
   }
-  // Pass 2: ONE token-bucket evaluation for the whole transaction. The
-  // bucket is consulted last (rules rejected above burn no budget) and the
-  // partial-admission split is deterministic: the first `taken` candidates
-  // in batch order stay guaranteed, the tail goes over-rate.
-  int taken =
-      bucket_.try_take_n(now, static_cast<int>(token_candidates.size()));
-  for (std::size_t j = static_cast<std::size_t>(taken);
-       j < token_candidates.size(); ++j) {
-    routes[token_candidates[j]] = Route::kMainOverRate;
-  }
+  // ONE token-bucket debit for the transaction (the bucket is consulted
+  // last in the per-op path too: rules rejected for other reasons burn no
+  // budget). `taken <= budget <= floor(available)` so the debit succeeds
+  // in full.
+  int debited = bucket_.try_take_n(now, taken);
+  assert(debited == taken);
+  (void)debited;
   for (Route route : routes) {
     switch (route) {
       case Route::kGuaranteed: guaranteed_.inc(); break;

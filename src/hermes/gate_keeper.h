@@ -97,14 +97,17 @@ class GateKeeper {
   /// token-bucket evaluation (the transaction is one controller request,
   /// so it debits admitted-rate budget once, not per rule).
   ///
-  /// Per-rule checks run first against a running view of `ctx`
-  /// (`shadow_free` decrements as rules tentatively claim slots, with
-  /// `ctx.pieces_needed` slots per rule); then the bucket is consulted
-  /// once for the tentatively-guaranteed count. If fewer tokens are
-  /// available, the split is deterministic: the FIRST `taken` such rules
-  /// (batch order) stay guaranteed, the rest route kMainOverRate.
-  /// Per-reason counters, the tokens gauge, and per-rule admission trace
-  /// events match the per-op path.
+  /// The token budget (whole tokens available at `now`, clamped to the
+  /// batch size) is fixed up front; per-rule checks then run in batch
+  /// order against a running view of `ctx` where only rules that route
+  /// kGuaranteed claim `ctx.pieces_needed` shadow slots. A rule bumped to
+  /// kMainOverRate consumes neither tokens nor capacity — exactly like
+  /// the per-op path — so the batch decision sequence equals calling
+  /// route_insert per rule with `shadow_free` updated between calls.
+  /// Under token shortage the split is deterministic: the FIRST `budget`
+  /// eligible rules (batch order) stay guaranteed, the rest route
+  /// kMainOverRate. Per-reason counters, the tokens gauge, and per-rule
+  /// admission trace events match the per-op path.
   std::vector<Route> route_insert_batch(Time now,
                                         std::span<const net::Rule> rules,
                                         const RouteContext& ctx);

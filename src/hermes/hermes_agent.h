@@ -13,6 +13,15 @@
 // a simulated `now` and returns the action's completion time. Table state
 // mutates immediately; latency only affects the returned timestamps (and
 // per-slice control-channel serialization inside tcam::Asic).
+//
+// Threading: the agent is single-threaded by design and not reentrant —
+// no internal locking, and handle/handle_batch/tick must never overlap.
+// Under the sharded controller core (sim::FleetController) each agent is
+// pinned to exactly one shard worker, which serializes every call; the
+// agent's attached obs counters are the only state it shares with other
+// threads, and those are thread-sharded by the registry. Audit note: all
+// mutable members (partitioner, gate keeper, store, predictor, pending
+// migration state) are touched only from the pinned thread.
 #pragma once
 
 #include <memory>

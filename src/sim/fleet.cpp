@@ -1,0 +1,98 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hermes::sim {
+
+FleetController::FleetController(int threads, std::size_t mailbox_capacity)
+    : threads_(std::max(1, threads)), mailbox_capacity_(mailbox_capacity) {}
+
+FleetController::~FleetController() { stop(); }
+
+void FleetController::add_switch(net::NodeId sw,
+                                 baselines::SwitchBackend* backend) {
+  assert(!started_ && "switches are pinned before start()");
+  pending_.emplace_back(sw, backend);
+}
+
+void FleetController::start() {
+  if (started_) return;
+  started_ = true;
+  // Never more shards than switches; empty shards would only add barrier
+  // participants.
+  int shard_count = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads_),
+                            std::max<std::size_t>(pending_.size(), 1)));
+  threads_ = shard_count;
+  shards_.reserve(static_cast<std::size_t>(shard_count));
+  for (int s = 0; s < shard_count; ++s)
+    shards_.push_back(std::make_unique<ShardWorker>(s, mailbox_capacity_));
+  // Contiguous block partition in registration order: switch i of n goes
+  // to shard i*threads/n. Deterministic (registration order is the
+  // topology's switch order) and locality-preserving — adjacent ids (same
+  // pod in a fat-tree) share a shard.
+  std::size_t n = pending_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    int s = static_cast<int>(i * static_cast<std::size_t>(shard_count) / n);
+    shard_of_.emplace(pending_[i].first, s);
+    shards_[static_cast<std::size_t>(s)]->add_backend(pending_[i].first,
+                                                      pending_[i].second);
+  }
+  pending_.clear();
+  obs_shards_.set(shard_count);
+  obs_backends_.set(static_cast<std::int64_t>(n));
+  if (threads_ > 1)
+    for (auto& shard : shards_) shard->start();
+}
+
+void FleetController::stop() {
+  for (auto& shard : shards_) shard->stop_and_join();
+}
+
+void FleetController::dispatch(int shard, ShardMsg msg) {
+  ShardWorker& worker = *shards_[static_cast<std::size_t>(shard)];
+  msg.seq = ++seq_;
+  obs_posted_.inc();
+  if (threads_ == 1) {
+    worker.execute_now(msg);
+    return;
+  }
+  obs_inbox_depth_.record(worker.inbox_depth());
+  worker.post(std::move(msg));
+}
+
+void FleetController::post_mod(Time now, net::NodeId sw,
+                               const net::FlowMod& mod) {
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kMod;
+  msg.time = now;
+  msg.sw = sw;
+  msg.mod = mod;
+  dispatch(shard_of_.at(sw), std::move(msg));
+}
+
+void FleetController::post_batch(Time now, net::NodeId sw,
+                                 net::FlowModBatch* batch) {
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kBatch;
+  msg.time = now;
+  msg.sw = sw;
+  msg.batch = batch;
+  dispatch(shard_of_.at(sw), std::move(msg));
+}
+
+void FleetController::post_tick(Time now) {
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kTick;
+  msg.time = now;
+  for (int s = 0; s < threads_; ++s) dispatch(s, msg);
+}
+
+void FleetController::join() {
+  if (threads_ > 1)
+    for (auto& shard : shards_) shard->wait_drained(shard->posted());
+  obs_joins_.inc();
+}
+
+}  // namespace hermes::sim

@@ -1,0 +1,97 @@
+// FleetController: the sharded controller core. Pins every switch
+// backend to one of N shard workers (contiguous blocks in registration
+// order — the lazyctrl-style locality grouping, so fat-tree pods land on
+// the same shard), posts control-plane work through per-shard SPSC
+// mailboxes, and barriers with join() wherever the control plane needs
+// results back.
+//
+// Deterministic parallel mode: the control thread makes every decision in
+// virtual-time event order and posts per-backend work in that order; each
+// shard replays its inbox in (time, seq) order; results are only read
+// after join(), in control-plane program order — the (time, seq, shard)
+// drain order. An N-thread run is therefore bit-identical to the
+// sequential (threads == 1) simulator, which stays the differential
+// oracle. See DESIGN.md "Sharded controller core".
+//
+// threads == 1 is inline mode: post_* executes immediately on the caller
+// and join() is a no-op — no worker threads, byte-for-byte the sequential
+// call sequence.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/switch_backend.h"
+#include "net/flow_mod_batch.h"
+#include "net/rule.h"
+#include "net/time.h"
+#include "obs/metrics.h"
+#include "sim/shard.h"
+
+namespace hermes::sim {
+
+class FleetController {
+ public:
+  /// `threads` >= 1 shard workers. 1 => inline mode (no threads).
+  explicit FleetController(int threads,
+                           std::size_t mailbox_capacity = 4096);
+  ~FleetController();
+
+  /// Registers a backend. Call for every switch before start();
+  /// registration order determines the contiguous block partition.
+  void add_switch(net::NodeId sw, baselines::SwitchBackend* backend);
+
+  /// Partitions switches into contiguous blocks, pins them, and spawns
+  /// the workers (no-op in inline mode).
+  void start();
+
+  /// Stops and joins all workers after draining outstanding work.
+  void stop();
+
+  /// One flow-mod for `sw` at virtual time `now` (fire-and-forget).
+  void post_mod(Time now, net::NodeId sw, const net::FlowMod& mod);
+
+  /// One transaction for `sw`; `batch` must stay alive until the next
+  /// join(), which is also when its results become readable.
+  void post_batch(Time now, net::NodeId sw, net::FlowModBatch* batch);
+
+  /// Maintenance tick fanned out to every shard (each ticks its pinned
+  /// backends in node-id order).
+  void post_tick(Time now);
+
+  /// Barrier: returns when every posted message has executed. After
+  /// join(), all batch results posted so far are readable on the caller.
+  void join();
+
+  int threads() const { return threads_; }
+  int shard_of(net::NodeId sw) const { return shard_of_.at(sw); }
+  std::size_t switch_count() const { return shard_of_.size(); }
+  std::uint64_t posted() const { return seq_; }
+
+ private:
+  ShardWorker& shard_for(net::NodeId sw) {
+    return *shards_[static_cast<std::size_t>(shard_of_.at(sw))];
+  }
+  void dispatch(int shard, ShardMsg msg);
+
+  int threads_;
+  std::size_t mailbox_capacity_;
+  bool started_ = false;
+  std::vector<std::pair<net::NodeId, baselines::SwitchBackend*>> pending_;
+  std::vector<std::unique_ptr<ShardWorker>> shards_;
+  std::unordered_map<net::NodeId, int> shard_of_;
+  std::uint64_t seq_ = 0;  // global post sequence (control thread only)
+
+  obs::Gauge obs_shards_ = obs::attached_gauge("fleet.shards");
+  obs::Gauge obs_backends_ = obs::attached_gauge("fleet.backends");
+  obs::Counter obs_posted_ = obs::attached_counter("fleet.posted");
+  obs::Counter obs_joins_ = obs::attached_counter("fleet.joins");
+  /// Inbox depth observed at post time (wall-clock dependent; excluded
+  /// from the determinism contract like all fleet.*/shard.* telemetry).
+  obs::Histogram obs_inbox_depth_ =
+      obs::attached_histogram("shard.inbox_depth");
+};
+
+}  // namespace hermes::sim

@@ -1,0 +1,136 @@
+// Control-plane mailboxes for the sharded controller core.
+//
+// SpscRing is a bounded lock-free single-producer/single-consumer ring:
+// the control thread posts switch work to exactly one shard worker per
+// ring, the same thread-pair discipline as the per-thread metric shards
+// in obs/metrics.h. Mailbox layers blocking semantics on top — the
+// producer backpressures (spins, then yields) while the ring is full and
+// wakes a sleeping consumer eventcount-style, so an idle shard burns no
+// CPU between virtual-time rounds.
+//
+// Ordering contract: pops observe pushes in push order (FIFO). Combined
+// with each shard's EventQueue this is what makes N-thread runs
+// deterministic — every backend sees the exact (time, op) sequence the
+// control plane posted, regardless of worker scheduling.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hermes::sim {
+
+/// Bounded lock-free SPSC ring. `capacity` rounds up to a power of two.
+/// One designated producer thread calls try_push, one designated consumer
+/// thread calls try_pop; size() is safe anywhere (approximate).
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity = 4096) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  bool try_push(T&& value) {
+    std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // full
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_pop(T& out) {
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;  // empty
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t size() const {
+    std::size_t tail = tail_.load(std::memory_order_acquire);
+    std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Indices only ever increase; slot index is value & mask_. Separate
+  // cache lines so producer and consumer do not false-share.
+  alignas(64) std::atomic<std::size_t> head_{0};  // next pop
+  alignas(64) std::atomic<std::size_t> tail_{0};  // next push
+};
+
+/// SPSC mailbox: SpscRing + producer backpressure + consumer sleep.
+///
+/// push() never drops: a full ring spins briefly, then yields until the
+/// consumer catches up. A consumer with nothing to do parks in
+/// wait_nonempty() (eventcount pattern: the sleeping flag is only set
+/// under the mutex, and the producer only takes the mutex when it
+/// observes a sleeper, so the wakeup cannot be missed and the fast path
+/// stays lock-free).
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(std::size_t capacity = 4096) : ring_(capacity) {}
+
+  /// Producer side. Blocks (spin, then yield) while the ring is full.
+  void push(T value) {
+    int spins = 0;
+    while (!ring_.try_push(std::move(value))) {
+      if (++spins > 64) std::this_thread::yield();
+    }
+    // The fence orders the ring publish before the sleeping_ read: either
+    // we observe the sleeper (and notify under the mutex), or the
+    // consumer's post-flag ring check observes our push. Dekker-style —
+    // acquire/release alone is not enough here.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (sleeping_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      wake_cv_.notify_one();
+    }
+  }
+
+  /// Consumer side: non-blocking pop.
+  bool try_pop(T& out) { return ring_.try_pop(out); }
+
+  /// Consumer side: park until the ring is non-empty or `stop` is set.
+  void wait_nonempty(const std::atomic<bool>& stop) {
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    sleeping_.store(true, std::memory_order_seq_cst);
+    // Timed re-arm: a (theoretically) missed wakeup degrades to 1 ms of
+    // latency instead of a deadlock.
+    while (ring_.size() == 0 && !stop.load(std::memory_order_acquire)) {
+      wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    sleeping_.store(false, std::memory_order_seq_cst);
+  }
+
+  /// Wake a parked consumer (used on shutdown after setting `stop`).
+  void interrupt() {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    wake_cv_.notify_one();
+  }
+
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return ring_.capacity(); }
+
+ private:
+  SpscRing<T> ring_;
+  std::atomic<bool> sleeping_{false};
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+};
+
+}  // namespace hermes::sim

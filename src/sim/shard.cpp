@@ -1,0 +1,132 @@
+#include "sim/shard.h"
+
+#include <cassert>
+
+namespace hermes::sim {
+
+ShardWorker::ShardWorker(int shard_id, std::size_t mailbox_capacity)
+    : shard_id_(shard_id), inbox_(mailbox_capacity) {}
+
+ShardWorker::~ShardWorker() { stop_and_join(); }
+
+void ShardWorker::add_backend(net::NodeId sw,
+                              baselines::SwitchBackend* backend) {
+  assert(!started_ && "backends are pinned before the worker starts");
+  backends_.emplace(sw, backend);
+}
+
+void ShardWorker::start() {
+  if (started_) return;
+  started_ = true;
+  obs_occupancy_.record(backends_.size());
+  worker_ = std::thread([this] { run_loop(); });
+}
+
+void ShardWorker::stop_and_join() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  inbox_.interrupt();
+  if (worker_.joinable()) worker_.join();
+  started_ = false;
+}
+
+void ShardWorker::post(ShardMsg msg) {
+  ++posted_;
+  inbox_.push(std::move(msg));
+}
+
+void ShardWorker::execute_now(const ShardMsg& msg) {
+  ++posted_;
+  execute(msg.time, msg);
+  note_processed();
+}
+
+void ShardWorker::wait_drained(std::uint64_t target) {
+  if (processed() >= target) return;
+  std::unique_lock<std::mutex> lock(drained_mutex_);
+  // Arm the notify gate, then re-check: the worker reads wait_target_
+  // (seq_cst) after each seq_cst increment, so either it sees the armed
+  // target and notifies, or this re-check sees its increment.
+  wait_target_.store(target, std::memory_order_seq_cst);
+  drained_cv_.wait(lock, [&] { return processed() >= target; });
+  wait_target_.store(kNoWaiter, std::memory_order_seq_cst);
+}
+
+void ShardWorker::run_loop() {
+  ShardMsg msg;
+  while (true) {
+    // Drain the inbox. Messages arrive in nondecreasing time (the control
+    // thread's virtual clock is monotone) and the mailbox preserves FIFO
+    // order, so the hot path executes straight off the ring — already the
+    // exact posted (time, seq) sequence. A message that would run in the
+    // past (never produced by the simulator; possible for a hand-driven
+    // controller) falls back to the shard EventQueue, which clamps and
+    // replays in (time, seq) order.
+    std::uint64_t burst = 0;
+    while (inbox_.try_pop(msg)) {
+      ++burst;
+      if (events_.empty() && msg.time >= watermark_) {
+        watermark_ = msg.time;
+        execute(msg.time, msg);
+        note_processed();
+      } else {
+        events_.schedule(msg.time, [this, m = std::move(msg)](Time t) {
+          execute(t, m);
+        });
+      }
+    }
+    if (burst > 0) obs_queue_depth_.record(burst);
+    while (events_.run_next()) note_processed();
+    if (inbox_.size() > 0) continue;
+    if (stop_.load(std::memory_order_acquire)) break;
+    inbox_.wait_nonempty(stop_);
+  }
+  // Shutdown drain: work posted before stop() must still complete.
+  while (inbox_.try_pop(msg)) {
+    if (events_.empty() && msg.time >= watermark_) {
+      watermark_ = msg.time;
+      execute(msg.time, msg);
+      note_processed();
+    } else {
+      events_.schedule(msg.time,
+                       [this, m = std::move(msg)](Time t) { execute(t, m); });
+    }
+  }
+  while (events_.run_next()) note_processed();
+}
+
+void ShardWorker::execute(Time now, const ShardMsg& msg) {
+  switch (msg.kind) {
+    case ShardMsg::Kind::kMod: {
+      auto it = backends_.find(msg.sw);
+      assert(it != backends_.end() && "mod posted to the wrong shard");
+      if (it != backends_.end()) it->second->handle(now, msg.mod);
+      break;
+    }
+    case ShardMsg::Kind::kBatch: {
+      auto it = backends_.find(msg.sw);
+      assert(it != backends_.end() && "batch posted to the wrong shard");
+      if (it != backends_.end()) it->second->handle_batch(now, *msg.batch);
+      break;
+    }
+    case ShardMsg::Kind::kTick:
+      for (auto& [sw, backend] : backends_) backend->tick(now);
+      break;
+  }
+  obs_msgs_.inc();
+}
+
+void ShardWorker::note_processed() {
+  // Publish (seq_cst also gives release): a control thread that acquires
+  // this count sees every batch-result write the execution made. The
+  // notify path only runs when a wait_drained() caller has armed
+  // wait_target_ and this message reaches it — the common case is one
+  // uncontended atomic increment and one load, no lock.
+  std::uint64_t done = processed_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  if (done >= wait_target_.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(drained_mutex_);
+    drained_cv_.notify_all();
+  }
+}
+
+}  // namespace hermes::sim

@@ -1,0 +1,125 @@
+// One shard of the fleet controller: a worker thread that owns a disjoint
+// set of pinned switch backends, an SPSC inbox mailbox fed by the control
+// thread, and a private EventQueue that replays inbox messages in
+// (time, seq) order.
+//
+// Determinism contract (see DESIGN.md "Sharded controller core"): the
+// control thread posts every message for a given backend in nondecreasing
+// virtual time, the mailbox preserves FIFO order, and the shard's
+// EventQueue breaks time ties by post sequence — so each backend executes
+// the exact (time, op) sequence the sequential simulator would have
+// issued, no matter how the worker is scheduled on the wall clock.
+// Backends and their FaultPlans are pinned: no backend is ever touched by
+// two threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "baselines/switch_backend.h"
+#include "net/flow_mod_batch.h"
+#include "net/rule.h"
+#include "net/time.h"
+#include "net/topology.h"
+#include "obs/metrics.h"
+#include "sim/event_queue.h"
+#include "sim/mailbox.h"
+
+namespace hermes::sim {
+
+/// One unit of switch work posted by the control plane.
+struct ShardMsg {
+  enum class Kind : std::uint8_t {
+    kMod,    ///< one flow-mod for `sw` (deletes, singleton inserts)
+    kBatch,  ///< one transaction for `sw`; results land in *batch
+    kTick,   ///< maintenance tick for every backend pinned to the shard
+  };
+  Kind kind = Kind::kMod;
+  Time time = 0;           ///< control-plane virtual time of the call
+  std::uint64_t seq = 0;   ///< global post sequence (tie-break + audit)
+  net::NodeId sw = 0;
+  net::FlowMod mod;
+  net::FlowModBatch* batch = nullptr;  ///< owned by the control plane
+};
+
+/// Worker thread + pinned backends + inbox + per-shard EventQueue.
+///
+/// Thread roles are fixed: the control thread calls add_backend (before
+/// start), post, execute_now (inline mode only), posted, and
+/// wait_drained; only the worker thread touches the backends after
+/// start(). processed() is published with release ordering, so a
+/// wait_drained() that observes the count also observes every batch
+/// result the worker wrote.
+class ShardWorker {
+ public:
+  ShardWorker(int shard_id, std::size_t mailbox_capacity = 4096);
+  ~ShardWorker();
+
+  /// Pins a backend to this shard. Control thread, before start().
+  void add_backend(net::NodeId sw, baselines::SwitchBackend* backend);
+
+  /// Spawns the worker thread. Without start(), execute_now() runs the
+  /// same work inline on the caller (the N=1 / bench-sequential mode).
+  void start();
+
+  /// Drains outstanding work, then stops and joins the worker thread.
+  void stop_and_join();
+
+  /// Posts one message (control thread). FIFO into the shard's inbox.
+  void post(ShardMsg msg);
+
+  /// Executes one message synchronously on the caller (inline mode).
+  void execute_now(const ShardMsg& msg);
+
+  /// Blocks until processed() catches up with `target` messages.
+  void wait_drained(std::uint64_t target);
+
+  int shard_id() const { return shard_id_; }
+  std::uint64_t posted() const { return posted_; }
+  std::uint64_t processed() const {
+    return processed_.load(std::memory_order_acquire);
+  }
+  std::size_t backend_count() const { return backends_.size(); }
+  std::size_t inbox_depth() const { return inbox_.size(); }
+
+ private:
+  void run_loop();
+  void execute(Time now, const ShardMsg& msg);
+  void note_processed();
+
+  int shard_id_;
+  // Ordered by node id so kTick visits backends in a deterministic
+  // sequence (irrelevant to backend state — they are independent — but
+  // keeps per-shard traces reproducible).
+  std::map<net::NodeId, baselines::SwitchBackend*> backends_;
+  Mailbox<ShardMsg> inbox_;
+  EventQueue events_;  // per-shard (time, seq) replay of inbox messages
+  std::thread worker_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::uint64_t posted_ = 0;  // control thread only
+  Time watermark_ = 0;        // worker thread only: last executed time
+  std::atomic<std::uint64_t> processed_{0};
+  /// Drain target armed by a blocked wait_drained() caller; kNoWaiter
+  /// keeps note_processed() on its lock-free fast path.
+  static constexpr std::uint64_t kNoWaiter = ~std::uint64_t{0};
+  std::atomic<std::uint64_t> wait_target_{kNoWaiter};
+  std::mutex drained_mutex_;
+  std::condition_variable drained_cv_;
+
+  // Per-shard telemetry (merged across shards in the attached registry).
+  // Depth samples depend on wall-clock scheduling and are excluded from
+  // the determinism contract; shard.msgs is deterministic.
+  obs::Counter obs_msgs_ = obs::attached_counter("shard.msgs");
+  obs::Histogram obs_queue_depth_ =
+      obs::attached_histogram("shard.queue_depth");
+  obs::Histogram obs_occupancy_ =
+      obs::attached_histogram("shard.occupancy");
+};
+
+}  // namespace hermes::sim

@@ -42,6 +42,15 @@ Simulation::Simulation(const net::Topology& topology, SimConfig config)
       }
       backends_.emplace(sw, std::move(backend));
     }
+    if (config_.controller_threads > 1 && !backends_.empty()) {
+      // Sharded controller core: pin each backend to one worker shard
+      // (contiguous blocks in topology switch order). The sequential
+      // path below stays untouched when controller_threads == 1.
+      fleet_ = std::make_unique<FleetController>(config_.controller_threads);
+      for (net::NodeId sw : topology.switches())
+        fleet_->add_switch(sw, backends_.at(sw).get());
+      fleet_->start();
+    }
   }
 }
 
@@ -92,6 +101,9 @@ void Simulation::run() {
     if ((processed & 63u) == 0)
       obs_queue_depth_.record(events_.size());
   }
+  // Final barrier: trailing fire-and-forget work (deletes, ticks) must
+  // land before callers read backend state or rit samples.
+  if (fleet_) fleet_->join();
   if (collecting) {
     obs_events_.inc(processed);
     obs_virtual_time_ns_.set(events_.now());
@@ -103,7 +115,23 @@ void Simulation::run() {
 }
 
 void Simulation::tick_backends(Time now) {
+  if (fleet_) {
+    // One tick message per shard; each shard ticks its pinned backends.
+    // No barrier — the next join (install_moves or end of run) syncs.
+    fleet_->post_tick(now);
+    return;
+  }
   for (auto& [sw, backend] : backends_) backend->tick(now);
+}
+
+void Simulation::dispatch_mod(Time now, net::NodeId sw,
+                              const net::FlowMod& mod) {
+  if (fleet_) {
+    fleet_->post_mod(now, sw, mod);
+    return;
+  }
+  auto it = backends_.find(sw);
+  if (it != backends_.end()) it->second->handle(now, mod);
 }
 
 void Simulation::tick_backends_and_reschedule(Time now) {
@@ -150,11 +178,9 @@ void Simulation::complete_flow(Time now, FlowId fluid_id) {
   // Controller housekeeping: retire the flow's per-flow rules (deletes
   // are cheap but still exercise the control channel).
   for (std::size_t i = 0; i < flow.installed_rules.size(); ++i) {
-    auto backend_it = backends_.find(flow.rule_switches[i]);
-    if (backend_it == backends_.end()) continue;
     net::FlowMod del{net::FlowModType::kDelete,
                      net::Rule{flow.installed_rules[i], 0, {}, {}}};
-    backend_it->second->handle(now, del);
+    dispatch_mod(now, flow.rule_switches[i], del);
   }
   flow.installed_rules.clear();
   flow.rule_switches.clear();
@@ -319,20 +345,60 @@ void Simulation::install_moves(Time now,
     installs.push_back(std::move(inst));
   }
 
+  // Dispatch the per-switch transactions — synchronously in sequential
+  // mode, fanned out across the shard workers otherwise — then barrier:
+  // the per-slot results below are only defined once every shard drained.
   for (net::NodeId node : batch_order) {
     net::FlowModBatch& batch = batches.at(node);
     obs_app_batch_size_.record(batch.size());
-    backends_.at(node)->handle_batch(now, batch);
+    if (fleet_)
+      fleet_->post_batch(now, node, &batch);
+    else
+      backends_.at(node)->handle_batch(now, batch);
   }
+  if (fleet_) fleet_->join();
 
   // Install barrier per move: the flow switches over only when the LAST
   // switch on its new path finishes (Figure 1 semantics), regardless of
-  // how the per-switch transactions interleaved.
+  // how the per-switch transactions interleaved. A transaction slot that
+  // reports kFailed (fault injection past the backend's retry budget)
+  // cancels the move at the same barrier: the flow keeps its old path and
+  // only the sibling rules that DID land are retired — never-installed
+  // rule ids must not be recorded as the flow's rules.
   for (std::size_t m = 0; m < installs.size(); ++m) {
     MoveInstall& inst = installs[m];
     Time done = now;
-    for (const auto& [node, slot] : inst.slots)
-      done = std::max(done, batches.at(node).result(slot).completion);
+    bool any_failed = false;
+    // Which rules actually landed? inst.slots covers, in order, the
+    // subset of inst.rules whose switch has a backend; rules at
+    // perfect-control-plane switches always install.
+    std::vector<net::RuleId> installed_rules;
+    std::vector<net::NodeId> installed_switches;
+    std::size_t slot_cursor = 0;
+    for (std::size_t i = 0; i < inst.rules.size(); ++i) {
+      bool installed = true;
+      if (backends_.find(inst.switches[i]) != backends_.end()) {
+        const auto& [node, slot] = inst.slots[slot_cursor++];
+        const net::ModResult& result = batches.at(node).result(slot);
+        done = std::max(done, result.completion);
+        installed = result.status != net::ModStatus::kFailed;
+      }
+      if (installed) {
+        installed_rules.push_back(inst.rules[i]);
+        installed_switches.push_back(inst.switches[i]);
+      } else {
+        any_failed = true;
+      }
+    }
+    if (any_failed) {
+      events_.schedule(
+          done, [this, flow_idx = inst.flow_idx, token = inst.token,
+                 rules = std::move(installed_rules),
+                 switches = std::move(installed_switches)](Time t) {
+            abort_move(t, flow_idx, token, rules, switches);
+          });
+      continue;
+    }
     events_.schedule(done,
                      [this, flow_idx = inst.flow_idx, token = inst.token,
                       new_path = moves[m].path,
@@ -342,6 +408,25 @@ void Simulation::install_moves(Time now,
                                    new_switches);
                      });
   }
+}
+
+void Simulation::abort_move(
+    Time now, int flow_idx, int move_token,
+    const std::vector<net::RuleId>& installed_rules,
+    const std::vector<net::NodeId>& installed_switches) {
+  if (move_tokens_[flow_idx] != move_token) return;  // superseded
+  ActiveFlow& flow = flows_[static_cast<std::size_t>(flow_idx)];
+  flow.move_in_progress = false;
+  // Retire the sibling rules that DID install; the flow's own rule
+  // bookkeeping is untouched (it still runs on its old path). This also
+  // covers the flow having completed before the barrier.
+  for (std::size_t i = 0; i < installed_rules.size(); ++i) {
+    net::FlowMod del{net::FlowModType::kDelete,
+                     net::Rule{installed_rules[i], 0, {}, {}}};
+    dispatch_mod(now, installed_switches[i], del);
+  }
+  ++moves_aborted_;
+  obs_moves_aborted_.inc();
 }
 
 void Simulation::finish_move(Time now, int flow_idx, int move_token,
@@ -355,11 +440,9 @@ void Simulation::finish_move(Time now, int flow_idx, int move_token,
   auto cleanup_rules = [&](const std::vector<net::RuleId>& rules,
                            const std::vector<net::NodeId>& switches) {
     for (std::size_t i = 0; i < rules.size(); ++i) {
-      auto backend_it = backends_.find(switches[i]);
-      if (backend_it == backends_.end()) continue;
       net::FlowMod del{net::FlowModType::kDelete,
                        net::Rule{rules[i], 0, {}, {}}};
-      backend_it->second->handle(now, del);
+      dispatch_mod(now, switches[i], del);
     }
   };
 

@@ -23,6 +23,7 @@
 #include "net/topology.h"
 #include "obs/metrics.h"
 #include "sim/event_queue.h"
+#include "sim/fleet.h"
 #include "sim/fluid_network.h"
 #include "workloads/trace.h"
 
@@ -59,6 +60,15 @@ struct SimConfig {
 
   // Control plane. Null factory => perfect (zero-latency) control plane.
   BackendFactory backend_factory;
+
+  /// Shard the switch backends across this many controller worker
+  /// threads (FleetController). 1 = the sequential simulator (no threads
+  /// — the differential oracle). N > 1 is the deterministic parallel
+  /// mode: bit-identical flow/job results and (non-fleet) metrics for any
+  /// thread count, because every backend still sees the identical
+  /// (time, op) sequence and results are only read at join barriers.
+  /// Ignored without a backend_factory (nothing to parallelize).
+  int controller_threads = 1;
 
   std::uint64_t seed = 1;
 
@@ -116,6 +126,10 @@ class Simulation {
 
   int total_moves() const { return total_moves_; }
 
+  /// Moves cancelled because a rule-install failed (fault injection):
+  /// the flow kept its old path and installed sibling rules were retired.
+  int moves_aborted() const { return moves_aborted_; }
+
  private:
   struct ActiveFlow {
     int job_id = -1;
@@ -148,11 +162,21 @@ class Simulation {
                    const net::Path& new_path,
                    std::vector<net::RuleId> new_rules,
                    std::vector<net::NodeId> new_switches);
+  /// Cancels a move whose install transaction had a failed rule: the flow
+  /// stays on its old path and only the sibling rules that DID land are
+  /// retired. Counted in app.moves_aborted.
+  void abort_move(Time now, int flow_idx, int move_token,
+                  const std::vector<net::RuleId>& installed_rules,
+                  const std::vector<net::NodeId>& installed_switches);
   net::Path initial_path(net::NodeId src, net::NodeId dst,
                          std::uint64_t salt);
   net::RuleId next_rule_id() { return rule_id_counter_++; }
   void tick_backends(Time now);
   void tick_backends_and_reschedule(Time now);
+  /// Routes one flow-mod to its backend: directly in sequential mode,
+  /// through the fleet mailbox in sharded mode. No-op for switches
+  /// without a backend (perfect control plane).
+  void dispatch_mod(Time now, net::NodeId sw, const net::FlowMod& mod);
 
   const net::Topology* topology_;
   SimConfig config_;
@@ -164,6 +188,10 @@ class Simulation {
   std::unordered_map<net::NodeId, std::unique_ptr<baselines::SwitchBackend>>
       backends_;
   std::vector<std::unique_ptr<fault::FaultPlan>> fault_plans_;
+  /// Sharded controller core (controller_threads > 1). Declared after the
+  /// backends so its destructor joins the workers before any backend
+  /// dies. Null in sequential mode — that path never touches the fleet.
+  std::unique_ptr<FleetController> fleet_;
 
   std::vector<ActiveFlow> flows_;               // indexed by flow_idx
   std::unordered_map<FlowId, int> fluid_to_idx_;
@@ -180,6 +208,7 @@ class Simulation {
   std::uint64_t completion_version_ = 0;
   net::RuleId rule_id_counter_ = 1;
   int total_moves_ = 0;
+  int moves_aborted_ = 0;
   int outstanding_flows_ = 0;
 
   // Event-loop health, aggregated into the process-attached registry
@@ -195,6 +224,9 @@ class Simulation {
   /// Flow-mods per per-switch transaction issued by the TE app.
   obs::Histogram obs_app_batch_size_ =
       obs::attached_histogram("app.batch_size");
+  /// Moves cancelled at their install barrier because a rule failed.
+  obs::Counter obs_moves_aborted_ =
+      obs::attached_counter("app.moves_aborted");
 };
 
 }  // namespace hermes::sim

@@ -314,6 +314,81 @@ TEST(GateKeeperBatch, RunningShadowFreeViewAcrossTheBatch) {
   EXPECT_EQ(gk.stats().shadow_full, 2u);
 }
 
+TEST(TokenBucket, HugeBurstTakeIsClamped) {
+  // Regression (fails pre-fix under UBSan): try_take_n used to cast
+  // floor(tokens_) straight to int, which is UB once the burst exceeds
+  // INT_MAX. The count must be clamped in double space before narrowing.
+  TokenBucket bucket(0.0, 1e18);
+  EXPECT_EQ(bucket.try_take_n(0, 5), 5);
+  EXPECT_EQ(bucket.try_take_n(0, 3), 3);
+  // The bucket level stays astronomically high; only 8 tokens ever left.
+  EXPECT_GT(bucket.available(0), 9e17);
+}
+
+TEST(GateKeeperBatch, OverRateRulesDoNotHoldShadowSlots) {
+  // Regression (fails pre-fix): the old two-pass batch algorithm let every
+  // capacity-eligible rule claim its shadow slots in pass 1, then bumped
+  // token-starved candidates to kMainOverRate in pass 2 WITHOUT releasing
+  // the claimed slots. Later rules in the same transaction then saw
+  // kMainShadowFull where the sequential per-op oracle admits them:
+  // shadow_free=2, one token, three candidates used to yield
+  // [Guaranteed, OverRate, ShadowFull] instead of the per-op sequence
+  // [Guaranteed, OverRate, OverRate].
+  HermesConfig config;
+  config.lowest_priority_optimization = false;
+  GateKeeper batched(config, /*rate=*/0.0, /*burst=*/1.0);
+  GateKeeper sequential(config, 0.0, 1.0);
+  RouteContext ctx = busy_context();
+  ctx.shadow_free = 2;
+  std::vector<Rule> rules;
+  for (int i = 0; i < 3; ++i)
+    rules.push_back(
+        make_rule(static_cast<net::RuleId>(i + 1), 9, "10.0.0.0/8"));
+  std::vector<Route> got = batched.route_insert_batch(0, rules, ctx);
+  // Differential oracle: the per-op path with shadow_free updated between
+  // calls, exactly as the agent would consume capacity rule by rule.
+  RouteContext seq_ctx = ctx;
+  ASSERT_EQ(got.size(), rules.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    Route want = sequential.route_insert(0, rules[i], seq_ctx);
+    if (want == Route::kGuaranteed) seq_ctx.shadow_free -= seq_ctx.pieces_needed;
+    EXPECT_EQ(got[i], want) << "rule " << i;
+  }
+  EXPECT_EQ(got[2], Route::kMainOverRate);  // NOT kMainShadowFull
+  EXPECT_EQ(batched.stats().shadow_full, 0u);
+  EXPECT_EQ(batched.stats().over_rate, 2u);
+}
+
+TEST(GateKeeperBatch, DifferentialVsPerOpAcrossMixedBatches) {
+  // Broader differential sweep over shadow pressure x token budget: the
+  // batch decision sequence must equal calling route_insert per rule with
+  // the capacity view updated between calls.
+  for (int shadow_free = 0; shadow_free <= 6; ++shadow_free) {
+    for (double burst = 0.0; burst <= 5.0; burst += 1.0) {
+      HermesConfig config;
+      GateKeeper batched(config, 0.0, burst);
+      GateKeeper sequential(config, 0.0, burst);
+      RouteContext ctx = busy_context();
+      ctx.shadow_free = shadow_free;
+      ctx.pieces_needed = 2;
+      std::vector<Rule> rules;
+      for (int i = 0; i < 6; ++i)
+        rules.push_back(make_rule(static_cast<net::RuleId>(i + 1),
+                                  (i % 3 == 0) ? 5 : 9, "10.0.0.0/8"));
+      std::vector<Route> got = batched.route_insert_batch(0, rules, ctx);
+      RouteContext seq_ctx = ctx;
+      ASSERT_EQ(got.size(), rules.size());
+      for (std::size_t i = 0; i < rules.size(); ++i) {
+        Route want = sequential.route_insert(0, rules[i], seq_ctx);
+        if (want == Route::kGuaranteed)
+          seq_ctx.shadow_free -= seq_ctx.pieces_needed;
+        EXPECT_EQ(got[i], want) << "shadow_free=" << shadow_free
+                                << " burst=" << burst << " rule " << i;
+      }
+    }
+  }
+}
+
 TEST(GateKeeperBatch, EmptyBatchIsANoOp) {
   HermesConfig config;
   GateKeeper gk(config, 0.0, 1.0);
