@@ -1,0 +1,104 @@
+#include "net/update_plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace hermes::net {
+
+UpdatePlan plan_update(const Path& old_path, const Path& new_path) {
+  assert(!old_path.empty() && !new_path.empty());
+  assert(old_path.front() == new_path.front() &&
+         old_path.back() == new_path.back() &&
+         "paths must share endpoints");
+
+  UpdatePlan plan;
+  plan.old_path = old_path;
+  plan.new_path = new_path;
+
+  // Position of every old-path node (paths are loop-free, so unique).
+  std::unordered_map<NodeId, int> old_pos;
+  old_pos.reserve(old_path.size());
+  for (std::size_t i = 0; i < old_path.size(); ++i)
+    old_pos.emplace(old_path[i], static_cast<int>(i));
+
+  // Commons in new-path order, and each common's segment index (the
+  // segment it is the entry of).
+  std::unordered_map<NodeId, int> segment_of_entry;
+  for (NodeId n : new_path)
+    if (old_pos.count(n)) plan.commons.push_back(n);
+  assert(plan.commons.size() >= 2 && "endpoints are always common");
+
+  // Segments: new-path stretches between consecutive commons.
+  std::unordered_set<NodeId> common_set(plan.commons.begin(),
+                                        plan.commons.end());
+  {
+    std::size_t c = 0;  // index into commons; new_path[0] == commons[0]
+    UpdateSegment seg;
+    seg.entry = plan.commons[0];
+    for (std::size_t i = 1; i < new_path.size(); ++i) {
+      NodeId n = new_path[i];
+      if (!common_set.count(n)) {
+        seg.add_nodes.push_back(n);
+        continue;
+      }
+      seg.exit = n;
+      seg.in_order = old_pos.at(seg.exit) > old_pos.at(seg.entry);
+      segment_of_entry.emplace(seg.entry, static_cast<int>(c));
+      plan.segments.push_back(std::move(seg));
+      seg = UpdateSegment{};
+      seg.entry = n;
+      ++c;
+    }
+  }
+
+  // Flip dependencies: an out-of-order segment waits for every segment
+  // after it on the new path ("reversed" update order); in-order
+  // segments only wait for their own adds.
+  const int nsegs = static_cast<int>(plan.segments.size());
+  for (int i = 0; i < nsegs; ++i) {
+    if (plan.segments[static_cast<std::size_t>(i)].in_order) continue;
+    auto& deps = plan.segments[static_cast<std::size_t>(i)].flip_deps;
+    for (int j = i + 1; j < nsegs; ++j) deps.push_back(j);
+  }
+
+  // Removal groups: old-path-only stretches between consecutive commons
+  // of the OLD path. An old rule at old position p stays reachable while
+  // any common with old position < p still forwards along the old path,
+  // so the gate is "every common at old position <= group start flipped".
+  RemovalGroup group;
+  std::vector<int> commons_before;  // segment indices seen so far (old order)
+  for (std::size_t i = 0; i < old_path.size(); ++i) {
+    NodeId n = old_path[i];
+    if (!common_set.count(n)) {
+      group.remove_nodes.push_back(n);
+      continue;
+    }
+    if (!group.remove_nodes.empty()) {
+      group.gate_flips = commons_before;
+      plan.removals.push_back(std::move(group));
+      group = RemovalGroup{};
+    }
+    // The destination is a common without a segment (it never flips).
+    auto it = segment_of_entry.find(n);
+    if (it != segment_of_entry.end()) commons_before.push_back(it->second);
+  }
+  assert(group.remove_nodes.empty() && "old path must end on a common");
+  return plan;
+}
+
+ForwardTrace trace_forwarding(
+    const std::unordered_map<NodeId, NodeId>& next_hop, NodeId src,
+    NodeId dst) {
+  std::unordered_set<NodeId> visited;
+  NodeId cur = src;
+  while (cur != dst) {
+    if (!visited.insert(cur).second) return ForwardTrace::kLoop;
+    auto it = next_hop.find(cur);
+    if (it == next_hop.end()) return ForwardTrace::kBlackhole;
+    cur = it->second;
+  }
+  return ForwardTrace::kDelivered;
+}
+
+}  // namespace hermes::net

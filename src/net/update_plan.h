@@ -1,0 +1,116 @@
+// Network-wide consistent update planning (ez-Segway style).
+//
+// PR 3 made flow-mod batches first-class per switch; this module plans
+// the *network-wide* transaction that reroutes one flow from an old path
+// to a new path without ever blackholing or looping a packet mid-update
+// (per *Decentralized Consistent Network Updates in SDN with ez-Segway*,
+// PAPERS.md).
+//
+// Decomposition: the nodes shared by both paths ("common nodes") cut the
+// new path into SEGMENTS. Updating segment i means (a) ADDING the flow's
+// rule at every new-path-only switch inside the segment, then (b)
+// FLIPPING the segment's entry common node from its old next hop to the
+// new one, and eventually (c) REMOVING the old-path-only rules that the
+// flip made unreachable. Adds are always safe (the new switches are
+// unreachable until the flip); the ordering constraints live on flips
+// and removes:
+//
+//  * Blackhole-freedom: a flip may only fire after every add inside its
+//    segment completed (add-before-remove, per segment), and an old rule
+//    may only be removed once every common node that precedes it on the
+//    OLD path has flipped — before that, a packet routed by a not-yet-
+//    flipped upstream common can still reach it.
+//  * Loop-freedom: classify each segment by comparing its endpoints'
+//    positions on the old path. An IN-ORDER segment (exit is downstream
+//    of entry on the old path too) can flip as soon as its adds are in —
+//    any subset of in-order flips keeps the mixed forwarding state
+//    acyclic, because every step of a walk advances either the old-path
+//    or the new-path position. An OUT-OF-ORDER segment (the new path
+//    jumps backwards relative to the old path) may only flip after every
+//    segment downstream of it on the NEW path has flipped ("reversed"
+//    order): then the jump lands on a common whose forwarding is already
+//    new, and the walk runs straight to the destination.
+//
+// The proof sketch for the mixed-state invariant lives in DESIGN.md
+// ("Consistent network updates"). plan_update() is pure path algebra —
+// no topology, clocks, or rules — so the update coordinator
+// (src/update/), the simulator, the property tests, and bench_update all
+// share one dependency computation.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace hermes::net {
+
+/// One ez-Segway segment: the stretch of the new path between two
+/// consecutive common nodes (`entry` -> internals -> `exit`).
+struct UpdateSegment {
+  NodeId entry = kInvalidNode;
+  NodeId exit = kInvalidNode;
+  /// New-path-only nodes strictly between entry and exit, in path order.
+  /// Their rules are installed before the entry flips.
+  std::vector<NodeId> add_nodes;
+  /// Entry appears earlier than exit on the old path too. In-order
+  /// segments flip independently; out-of-order segments wait for every
+  /// segment after them on the new path.
+  bool in_order = true;
+  /// Segment indices whose flips must complete before this entry flips
+  /// (empty for in-order segments).
+  std::vector<int> flip_deps;
+};
+
+/// Old-path-only nodes between two consecutive commons of the OLD path,
+/// removable once every common upstream of them (on the old path) has
+/// flipped to its new next hop.
+struct RemovalGroup {
+  /// Old-path-only nodes, in old-path order.
+  std::vector<NodeId> remove_nodes;
+  /// Segment indices (= entry commons) whose flips gate the removal.
+  std::vector<int> gate_flips;
+};
+
+struct UpdatePlan {
+  Path old_path;
+  Path new_path;
+  /// Nodes on both paths, in new-path order. Always contains the shared
+  /// endpoints, so commons.size() >= 2 for valid inputs.
+  std::vector<NodeId> commons;
+  /// commons.size() - 1 segments; segments[i] goes commons[i] ->
+  /// commons[i+1]. The last exit (the destination) never flips.
+  std::vector<UpdateSegment> segments;
+  std::vector<RemovalGroup> removals;
+
+  /// Any segment classified out-of-order (the reroutes where a naive
+  /// concurrent flip can loop).
+  bool out_of_order() const {
+    for (const UpdateSegment& s : segments)
+      if (!s.in_order) return true;
+    return false;
+  }
+};
+
+/// Computes the segment decomposition, classification, flip dependencies
+/// and removal gates for rerouting one flow old_path -> new_path. Both
+/// paths must be loop-free node sequences sharing front() and back().
+UpdatePlan plan_update(const Path& old_path, const Path& new_path);
+
+// --- Mixed-state consistency checking --------------------------------------
+
+/// Outcome of walking a per-flow forwarding function from src.
+enum class ForwardTrace : std::uint8_t {
+  kDelivered,  ///< reached dst
+  kBlackhole,  ///< hit a node with no next hop for the flow
+  kLoop,       ///< revisited a node
+};
+
+/// Walks `next_hop` (node -> next node for this flow) from src until dst,
+/// a missing entry, or a repeat. This is the invariant oracle the update
+/// property tests and bench_update evaluate at every rule-change instant.
+ForwardTrace trace_forwarding(
+    const std::unordered_map<NodeId, NodeId>& next_hop, NodeId src,
+    NodeId dst);
+
+}  // namespace hermes::net

@@ -395,6 +395,8 @@ std::string_view kind_name(EventKind kind) {
       return "retry";
     case EventKind::kReconcile:
       return "reconcile";
+    case EventKind::kUpdatePhase:
+      return "update_phase";
   }
   return "unknown";
 }

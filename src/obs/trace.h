@@ -27,6 +27,7 @@ enum class EventKind : std::uint8_t {
   kFaultInjected,    ///< fault layer injected a failure/stall/reset
   kRetry,            ///< a failed write was re-submitted after backoff
   kReconcile,        ///< post-reset RuleStore-vs-ASIC reconciliation pass
+  kUpdatePhase,      ///< a network-wide update transaction changed phase
 };
 
 std::string_view kind_name(EventKind kind);
@@ -148,6 +149,28 @@ inline TraceEvent reconcile_event(TimeNs t, int rules, int pieces,
   e.b = static_cast<std::uint32_t>(pieces);
   e.time = t;
   e.latency_ns = latency_ns;
+  return e;
+}
+
+/// Values of update_phase_event's `phase` (the `arg` field).
+inline constexpr std::uint8_t kUpdateBegin = 0;
+inline constexpr std::uint8_t kUpdateFlip = 1;
+inline constexpr std::uint8_t kUpdateCommit = 2;
+inline constexpr std::uint8_t kUpdateAbort = 3;
+
+/// A network-wide update transaction `txn` changed phase: began
+/// (a = segment count), flipped a segment entry (a = segment index),
+/// committed, or aborted/rolled back (b = failed ops so far).
+inline TraceEvent update_phase_event(TimeNs t, std::uint8_t phase,
+                                     std::uint32_t txn, std::uint32_t a,
+                                     std::uint32_t b = 0) {
+  TraceEvent e;
+  e.kind = EventKind::kUpdatePhase;
+  e.arg = phase;
+  e.a = a;
+  e.b = b;
+  e.time = t;
+  e.latency_ns = static_cast<std::int64_t>(txn);
   return e;
 }
 

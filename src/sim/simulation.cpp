@@ -52,6 +52,36 @@ Simulation::Simulation(const net::Topology& topology, SimConfig config)
       fleet_->start();
     }
   }
+  // Consistent-update coordinator for TE moves. Operations route through
+  // the same backend paths as every other flow-mod: per-switch batches
+  // (fleet mailbox + join in sharded mode — decisions stay on the control
+  // thread, keeping sharded runs bit-identical to sequential), and
+  // fire-and-forget deletes through dispatch_mod.
+  update::CoordinatorConfig uc;
+  uc.strategy = update::Strategy::kSegway;
+  uc.signal_delay = config_.update_signal_delay;
+  coordinator_ = std::make_unique<update::UpdateCoordinator>(
+      events_,
+      [this](Time now, net::NodeId sw, net::FlowModBatch& batch) {
+        auto it = backends_.find(sw);
+        if (it == backends_.end()) {
+          // Perfect control plane: every op lands instantly.
+          for (std::size_t i = 0; i < batch.size(); ++i)
+            batch.complete(i, now, true);
+          return;
+        }
+        obs_app_batch_size_.record(batch.size());
+        if (fleet_) {
+          fleet_->post_batch(now, sw, &batch);
+          fleet_->join();
+        } else {
+          it->second->handle_batch(now, batch);
+        }
+      },
+      [this](Time now, net::NodeId sw, const net::FlowMod& mod) {
+        dispatch_mod(now, sw, mod);
+      },
+      uc);
 }
 
 Simulation::~Simulation() = default;
@@ -175,11 +205,15 @@ void Simulation::complete_flow(Time now, FlowId fluid_id) {
   network_.remove_flow(fluid_id, now);
   fluid_to_idx_.erase(it);
 
+  // A move still in flight is moot now: the coordinator stops issuing
+  // phases and retires whatever rules it already installed.
+  if (flow.txn != 0) coordinator_->cancel(flow.txn);
+
   // Controller housekeeping: retire the flow's per-flow rules (deletes
   // are cheap but still exercise the control channel).
   for (std::size_t i = 0; i < flow.installed_rules.size(); ++i) {
     net::FlowMod del{net::FlowModType::kDelete,
-                     net::Rule{flow.installed_rules[i], 0, {}, {}}};
+                     net::Rule{flow.installed_rules[i].id, 0, {}, {}}};
     dispatch_mod(now, flow.rule_switches[i], del);
   }
   flow.installed_rules.clear();
@@ -302,162 +336,92 @@ void Simulation::install_moves(Time now,
                                const std::vector<PlannedMove>& moves) {
   if (moves.empty()) return;
 
-  // Per-move bookkeeping destined for finish_move, plus each rule's slot
-  // in its switch's batch so the install barrier can be read back.
-  struct MoveInstall {
-    int flow_idx = 0;
-    int token = 0;
-    std::vector<net::RuleId> rules;
-    std::vector<net::NodeId> switches;
-    std::vector<std::pair<net::NodeId, std::size_t>> slots;
-  };
-
-  // Rule generation runs per (move, hop) in planned-move order — the same
-  // RNG draw and id sequence the per-op path used — while the flow-mods
-  // group into ONE transaction per switch (ordered by first appearance,
-  // preserving each switch's op order).
+  // One consistent-update transaction per move. Rule generation runs per
+  // (move, hop) in planned-move order — a deterministic RNG draw and id
+  // sequence — and the coordinator decides when each op is issued: adds
+  // immediately (the new switches are unreachable until their segment
+  // entry flips), flips when the segment's agent releases them, removals
+  // once their gating entries flipped.
   std::uniform_int_distribution<int> prio(config_.rule_priority_min,
                                           config_.rule_priority_max);
-  std::vector<net::NodeId> batch_order;
-  std::unordered_map<net::NodeId, net::FlowModBatch> batches;
-  std::vector<MoveInstall> installs;
-  installs.reserve(moves.size());
   for (const PlannedMove& move : moves) {
     ActiveFlow& flow = flows_[static_cast<std::size_t>(move.flow_idx)];
     flow.move_in_progress = true;
-    MoveInstall inst;
-    inst.flow_idx = move.flow_idx;
-    inst.token = ++move_tokens_[move.flow_idx];
+
+    update::UpdateCoordinator::TxnRequest req;
+    req.plan = net::plan_update(flow.path, move.path);
+    for (std::size_t i = 0; i < flow.rule_switches.size(); ++i)
+      req.old_rules.emplace(flow.rule_switches[i], flow.installed_rules[i]);
+
+    std::vector<net::NodeId> new_switches;
+    std::vector<net::Rule> fresh_rules;
     for (std::size_t i = 0; i + 1 < move.path.size(); ++i) {
       net::NodeId node = move.path[i];
       if (topology_->node(node).kind != net::NodeKind::kSwitch) continue;
       net::Rule rule{
           next_rule_id(), prio(rng_), flow_match(move.flow_idx),
           net::forward_to(static_cast<int>(move.path[i + 1]) % 48)};
-      inst.rules.push_back(rule.id);
-      inst.switches.push_back(node);
-      if (backends_.find(node) == backends_.end()) continue;  // perfect CP
-      auto [it, fresh] = batches.try_emplace(node);
-      if (fresh) batch_order.push_back(node);
-      inst.slots.emplace_back(node, it->second.size());
-      it->second.insert(rule);
+      new_switches.push_back(node);
+      fresh_rules.push_back(rule);
+      req.new_rules.emplace(node, rule);
     }
-    installs.push_back(std::move(inst));
-  }
 
-  // Dispatch the per-switch transactions — synchronously in sequential
-  // mode, fanned out across the shard workers otherwise — then barrier:
-  // the per-slot results below are only defined once every shard drained.
-  for (net::NodeId node : batch_order) {
-    net::FlowModBatch& batch = batches.at(node);
-    obs_app_batch_size_.record(batch.size());
-    if (fleet_)
-      fleet_->post_batch(now, node, &batch);
-    else
-      backends_.at(node)->handle_batch(now, batch);
-  }
-  if (fleet_) fleet_->join();
-
-  // Install barrier per move: the flow switches over only when the LAST
-  // switch on its new path finishes (Figure 1 semantics), regardless of
-  // how the per-switch transactions interleaved. A transaction slot that
-  // reports kFailed (fault injection past the backend's retry budget)
-  // cancels the move at the same barrier: the flow keeps its old path and
-  // only the sibling rules that DID land are retired — never-installed
-  // rule ids must not be recorded as the flow's rules.
-  for (std::size_t m = 0; m < installs.size(); ++m) {
-    MoveInstall& inst = installs[m];
-    Time done = now;
-    bool any_failed = false;
-    // Which rules actually landed? inst.slots covers, in order, the
-    // subset of inst.rules whose switch has a backend; rules at
-    // perfect-control-plane switches always install.
-    std::vector<net::RuleId> installed_rules;
-    std::vector<net::NodeId> installed_switches;
-    std::size_t slot_cursor = 0;
-    for (std::size_t i = 0; i < inst.rules.size(); ++i) {
-      bool installed = true;
-      if (backends_.find(inst.switches[i]) != backends_.end()) {
-        const auto& [node, slot] = inst.slots[slot_cursor++];
-        const net::ModResult& result = batches.at(node).result(slot);
-        done = std::max(done, result.completion);
-        installed = result.status != net::ModStatus::kFailed;
-      }
-      if (installed) {
-        installed_rules.push_back(inst.rules[i]);
-        installed_switches.push_back(inst.switches[i]);
-      } else {
-        any_failed = true;
-      }
-    }
-    if (any_failed) {
-      events_.schedule(
-          done, [this, flow_idx = inst.flow_idx, token = inst.token,
-                 rules = std::move(installed_rules),
-                 switches = std::move(installed_switches)](Time t) {
-            abort_move(t, flow_idx, token, rules, switches);
-          });
-      continue;
-    }
-    events_.schedule(done,
-                     [this, flow_idx = inst.flow_idx, token = inst.token,
-                      new_path = moves[m].path,
-                      new_rules = std::move(inst.rules),
-                      new_switches = std::move(inst.switches)](Time t) {
-                       finish_move(t, flow_idx, token, new_path, new_rules,
-                                   new_switches);
-                     });
+    flow.txn = coordinator_->begin(
+        now, std::move(req),
+        [this, flow_idx = move.flow_idx, new_path = move.path,
+         new_switches = std::move(new_switches),
+         fresh_rules = std::move(fresh_rules)](
+            Time t, const update::TxnOutcome& out) {
+          on_move_done(t, flow_idx, new_path, new_switches, fresh_rules,
+                       out);
+        });
   }
 }
 
-void Simulation::abort_move(
-    Time now, int flow_idx, int move_token,
-    const std::vector<net::RuleId>& installed_rules,
-    const std::vector<net::NodeId>& installed_switches) {
-  if (move_tokens_[flow_idx] != move_token) return;  // superseded
+void Simulation::on_move_done(Time now, int flow_idx,
+                              const net::Path& new_path,
+                              const std::vector<net::NodeId>& new_switches,
+                              const std::vector<net::Rule>& fresh_rules,
+                              const update::TxnOutcome& out) {
   ActiveFlow& flow = flows_[static_cast<std::size_t>(flow_idx)];
   flow.move_in_progress = false;
-  // Retire the sibling rules that DID install; the flow's own rule
-  // bookkeeping is untouched (it still runs on its old path). This also
-  // covers the flow having completed before the barrier.
-  for (std::size_t i = 0; i < installed_rules.size(); ++i) {
-    net::FlowMod del{net::FlowModType::kDelete,
-                     net::Rule{installed_rules[i], 0, {}, {}}};
-    dispatch_mod(now, installed_switches[i], del);
-  }
-  ++moves_aborted_;
-  obs_moves_aborted_.inc();
-}
-
-void Simulation::finish_move(Time now, int flow_idx, int move_token,
-                             const net::Path& new_path,
-                             std::vector<net::RuleId> new_rules,
-                             std::vector<net::NodeId> new_switches) {
-  if (move_tokens_[flow_idx] != move_token) return;  // superseded
-  ActiveFlow& flow = flows_[static_cast<std::size_t>(flow_idx)];
-  flow.move_in_progress = false;
-
-  auto cleanup_rules = [&](const std::vector<net::RuleId>& rules,
-                           const std::vector<net::NodeId>& switches) {
-    for (std::size_t i = 0; i < rules.size(); ++i) {
-      net::FlowMod del{net::FlowModType::kDelete,
-                       net::Rule{rules[i], 0, {}, {}}};
-      dispatch_mod(now, switches[i], del);
-    }
-  };
-
-  if (!fluid_to_idx_.count(flow.fluid_id)) {
-    // The flow finished on its old path before the rules landed.
-    cleanup_rules(new_rules, new_switches);
+  flow.txn = 0;
+  if (out.cancelled) return;  // flow completed mid-update; already cleaned up
+  if (!out.committed) {
+    // Aborted: the coordinator rolled the network back to the old path;
+    // the flow's rule bookkeeping is untouched.
+    ++moves_aborted_;
+    obs_moves_aborted_.inc();
     return;
+  }
+  if (!fluid_to_idx_.count(flow.fluid_id)) return;  // completed this instant
+
+  // Commit: adopt the new rule set. Commons kept their rule id (the flip
+  // was a modify of the existing rule); every other switch carries its
+  // freshly inserted rule. Old rules off the new path are retired by the
+  // coordinator's gated removals — no deletes to issue here.
+  std::unordered_map<net::NodeId, net::Rule> old_map;
+  old_map.reserve(flow.rule_switches.size());
+  for (std::size_t i = 0; i < flow.rule_switches.size(); ++i)
+    old_map.emplace(flow.rule_switches[i], flow.installed_rules[i]);
+  std::vector<net::Rule> rules;
+  rules.reserve(fresh_rules.size());
+  for (std::size_t i = 0; i < new_switches.size(); ++i) {
+    auto it = old_map.find(new_switches[i]);
+    if (it != old_map.end()) {
+      net::Rule kept = it->second;
+      kept.action = fresh_rules[i].action;
+      rules.push_back(kept);
+    } else {
+      rules.push_back(fresh_rules[i]);
+    }
   }
 
   network_.advance_to(now);
   network_.reroute_flow(flow.fluid_id,
                         net::path_links(*topology_, new_path), now);
-  cleanup_rules(flow.installed_rules, flow.rule_switches);
-  flow.installed_rules = std::move(new_rules);
-  flow.rule_switches = std::move(new_switches);
+  flow.installed_rules = std::move(rules);
+  flow.rule_switches = new_switches;
   flow.path = new_path;
   ++flow.moves;
   ++total_moves_;

@@ -25,6 +25,7 @@
 #include "sim/event_queue.h"
 #include "sim/fleet.h"
 #include "sim/fluid_network.h"
+#include "update/update_coordinator.h"
 #include "workloads/trace.h"
 
 namespace hermes::sim {
@@ -69,6 +70,12 @@ struct SimConfig {
   /// (time, op) sequence and results are only read at join barriers.
   /// Ignored without a backend_factory (nothing to parallelize).
   int controller_threads = 1;
+
+  /// Switch-to-switch release latency for the consistent-update
+  /// coordinator (ez-Segway signaling between per-switch agents). Zero =
+  /// same-instant release (data-center approximation); raise it to model
+  /// WAN reroutes where the signal itself takes propagation time.
+  Duration update_signal_delay = 0;
 
   std::uint64_t seed = 1;
 
@@ -139,7 +146,13 @@ class Simulation {
     net::Path path;
     int moves = 0;
     bool move_in_progress = false;
-    std::vector<net::RuleId> installed_rules;  // one per switch on path
+    /// In-flight update transaction (0 = none); cancelled if the flow
+    /// completes before the move commits or aborts.
+    std::uint64_t txn = 0;
+    /// The flow's live per-flow rules, one per switch on `path`, aligned
+    /// with rule_switches. Full rules (not just ids): the next move hands
+    /// them to the update coordinator as the transaction's old state.
+    std::vector<net::Rule> installed_rules;
     std::vector<net::NodeId> rule_switches;
   };
 
@@ -153,21 +166,21 @@ class Simulation {
   void complete_flow(Time now, FlowId fluid_id);
   void schedule_next_completion();
   void te_cycle(Time now);
-  /// Installs a cycle's planned moves: ONE FlowModBatch per switch
-  /// (aggregating every move's rule for that switch), then one
-  /// install-barrier event per move — a flow moves only when the LAST
-  /// switch on its new path finishes (Figure 1 semantics).
+  /// Starts one consistent-update transaction per planned move
+  /// (UpdateCoordinator, ez-Segway segment signaling): adds install
+  /// first, each segment entry flips old->new when its agent releases
+  /// it, and the flow reroutes only when the LAST entry flipped (the
+  /// Figure 1 install barrier, now per segment). A failed write aborts
+  /// the transaction — the coordinator rolls the network back to the old
+  /// path and the move counts in app.moves_aborted.
   void install_moves(Time now, const std::vector<PlannedMove>& moves);
-  void finish_move(Time now, int flow_idx, int move_token,
-                   const net::Path& new_path,
-                   std::vector<net::RuleId> new_rules,
-                   std::vector<net::NodeId> new_switches);
-  /// Cancels a move whose install transaction had a failed rule: the flow
-  /// stays on its old path and only the sibling rules that DID land are
-  /// retired. Counted in app.moves_aborted.
-  void abort_move(Time now, int flow_idx, int move_token,
-                  const std::vector<net::RuleId>& installed_rules,
-                  const std::vector<net::NodeId>& installed_switches);
+  /// Transaction outcome: commit reroutes the fluid flow and adopts the
+  /// new rule set; abort keeps the old path (rules already rolled back);
+  /// cancel means the flow completed mid-update.
+  void on_move_done(Time now, int flow_idx, const net::Path& new_path,
+                    const std::vector<net::NodeId>& new_switches,
+                    const std::vector<net::Rule>& fresh_rules,
+                    const update::TxnOutcome& out);
   net::Path initial_path(net::NodeId src, net::NodeId dst,
                          std::uint64_t salt);
   net::RuleId next_rule_id() { return rule_id_counter_++; }
@@ -193,9 +206,12 @@ class Simulation {
   /// dies. Null in sequential mode — that path never touches the fleet.
   std::unique_ptr<FleetController> fleet_;
 
+  /// Consistent-update transaction coordinator for TE moves. Declared
+  /// after fleet_ so its in-flight batches never outlive the workers.
+  std::unique_ptr<update::UpdateCoordinator> coordinator_;
+
   std::vector<ActiveFlow> flows_;               // indexed by flow_idx
   std::unordered_map<FlowId, int> fluid_to_idx_;
-  std::unordered_map<int, int> move_tokens_;    // flow_idx -> token
 
   struct JobTracker {
     workloads::Job spec;

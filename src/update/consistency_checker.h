@@ -1,0 +1,112 @@
+// Transient-consistency oracle for network-wide updates.
+//
+// The update property tests and bench_update hook an UpdateCoordinator's
+// OpObserver and maintain, per flow, a MIRROR of the data-plane
+// forwarding function (node -> next node) that changes exactly at each
+// operation's completion instant. After every change the mirror is
+// walked with net::trace_forwarding: a blackhole or loop instant is a
+// consistency violation. ez-Segway ordering must produce ZERO violation
+// instants; the naive two-phase baseline measurably does not.
+//
+// Convention: rule actions encode the next hop as `forward_to(node id)`
+// (valid for the sub-48-node ISP topologies these harnesses run on), so
+// an op's effect on the mirror is read straight off the FlowMod.
+// Attribution of an op to a flow is the caller's job (single-flow
+// harnesses close over the flow index; multi-flow ones key rule ids or
+// the /32 match address).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/rule.h"
+#include "net/topology.h"
+#include "net/update_plan.h"
+
+namespace hermes::update {
+
+class ConsistencyChecker {
+ public:
+  /// Registers a flow and seeds its mirror from the path currently
+  /// installed in the network.
+  void add_flow(int flow, const net::Path& path) {
+    FlowState state;
+    state.src = path.front();
+    state.dst = path.back();
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+      state.next_hop[path[i]] = path[i + 1];
+    flows_[flow] = std::move(state);
+  }
+
+  void remove_flow(int flow) { flows_.erase(flow); }
+
+  /// Applies one completed operation to `flow`'s mirror and re-evaluates
+  /// the oracle at this instant. Failed ops leave the mirror untouched
+  /// (the switch rejected the write) but still trigger a check — the
+  /// network state at that instant must be consistent regardless.
+  void apply(int flow, net::NodeId sw, const net::FlowMod& mod, bool ok) {
+    auto it = flows_.find(flow);
+    if (it == flows_.end()) return;  // flow already retired
+    if (ok) {
+      switch (mod.type) {
+        case net::FlowModType::kInsert:
+        case net::FlowModType::kModify:
+          it->second.next_hop[sw] = mod.rule.action.port;
+          break;
+        case net::FlowModType::kDelete:
+          it->second.next_hop.erase(sw);
+          break;
+      }
+    }
+    check(flow);
+  }
+
+  /// Walks the flow's mirror now; counts a violation instant if it no
+  /// longer delivers src -> dst.
+  void check(int flow) {
+    auto it = flows_.find(flow);
+    if (it == flows_.end()) return;
+    ++checks_;
+    switch (net::trace_forwarding(it->second.next_hop, it->second.src,
+                                  it->second.dst)) {
+      case net::ForwardTrace::kDelivered:
+        break;
+      case net::ForwardTrace::kBlackhole:
+        ++blackhole_instants_;
+        break;
+      case net::ForwardTrace::kLoop:
+        ++loop_instants_;
+        break;
+    }
+  }
+
+  net::ForwardTrace trace(int flow) const {
+    const FlowState& state = flows_.at(flow);
+    return net::trace_forwarding(state.next_hop, state.src, state.dst);
+  }
+
+  const std::unordered_map<net::NodeId, net::NodeId>& next_hop(
+      int flow) const {
+    return flows_.at(flow).next_hop;
+  }
+
+  std::int64_t checks() const { return checks_; }
+  std::int64_t blackhole_instants() const { return blackhole_instants_; }
+  std::int64_t loop_instants() const { return loop_instants_; }
+  std::int64_t violation_instants() const {
+    return blackhole_instants_ + loop_instants_;
+  }
+
+ private:
+  struct FlowState {
+    net::NodeId src = net::kInvalidNode;
+    net::NodeId dst = net::kInvalidNode;
+    std::unordered_map<net::NodeId, net::NodeId> next_hop;
+  };
+  std::unordered_map<int, FlowState> flows_;
+  std::int64_t checks_ = 0;
+  std::int64_t blackhole_instants_ = 0;
+  std::int64_t loop_instants_ = 0;
+};
+
+}  // namespace hermes::update

@@ -1,0 +1,713 @@
+#include "update/update_coordinator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace hermes::update {
+
+namespace {
+
+net::FlowMod delete_mod(net::RuleId id) {
+  return net::FlowMod{net::FlowModType::kDelete, net::Rule{id, 0, {}, {}}};
+}
+
+}  // namespace
+
+UpdateCoordinator::UpdateCoordinator(sim::EventQueue& events,
+                                     BatchDispatch batch, ModDispatch mod,
+                                     CoordinatorConfig config)
+    : events_(events),
+      batch_(std::move(batch)),
+      mod_(std::move(mod)),
+      config_(config) {}
+
+UpdateCoordinator::Txn* UpdateCoordinator::find(std::uint64_t id) {
+  auto it = txns_.find(id);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+bool UpdateCoordinator::is_virtual(const Txn& t, net::NodeId node) const {
+  return t.req.old_rules.find(node) == t.req.old_rules.end() &&
+         t.req.new_rules.find(node) == t.req.new_rules.end();
+}
+
+net::NodeId UpdateCoordinator::new_successor(const Txn& t, int seg) const {
+  const net::UpdateSegment& s =
+      t.req.plan.segments[static_cast<std::size_t>(seg)];
+  return s.add_nodes.empty() ? s.exit : s.add_nodes.front();
+}
+
+net::NodeId UpdateCoordinator::old_successor(const Txn& t,
+                                             net::NodeId node) const {
+  const net::Path& old_path = t.req.plan.old_path;
+  for (std::size_t i = 0; i + 1 < old_path.size(); ++i)
+    if (old_path[i] == node) return old_path[i + 1];
+  return net::kInvalidNode;
+}
+
+net::FlowMod UpdateCoordinator::flip_mod(const Txn& t, int seg) const {
+  const net::NodeId entry =
+      t.req.plan.segments[static_cast<std::size_t>(seg)].entry;
+  auto old_it = t.req.old_rules.find(entry);
+  if (old_it != t.req.old_rules.end()) {
+    // The common keeps its rule id and table position; only the action
+    // changes (old next hop -> new next hop). This is what makes a flip
+    // atomic from the data plane's point of view.
+    net::Rule rule = old_it->second;
+    auto new_it = t.req.new_rules.find(entry);
+    rule.action = new_it != t.req.new_rules.end()
+                      ? new_it->second.action
+                      : net::forward_to(static_cast<int>(new_successor(t, seg)));
+    return net::FlowMod{net::FlowModType::kModify, rule};
+  }
+  auto new_it = t.req.new_rules.find(entry);
+  if (new_it != t.req.new_rules.end())
+    // First install for this flow at this common: the insert IS the flip.
+    return net::FlowMod{net::FlowModType::kInsert, new_it->second};
+  // Virtual node (source host / perfect control plane): synthesize the
+  // effect for the observer.
+  return net::FlowMod{
+      net::FlowModType::kModify,
+      net::Rule{net::kInvalidRuleId, 0, {},
+                net::forward_to(static_cast<int>(new_successor(t, seg)))}};
+}
+
+std::pair<Time, bool> UpdateCoordinator::dispatch_op(Time now, net::NodeId sw,
+                                                     const net::FlowMod& mod,
+                                                     bool virt) {
+  Time completion = now;
+  bool ok = true;
+  if (!virt) {
+    net::FlowModBatch batch;
+    batch.push(mod);
+    batch_(now, sw, batch);
+    const net::ModResult& r = batch.result(0);
+    ok = r.status == net::ModStatus::kApplied;
+    completion = std::max(now, r.completion);
+  }
+  if (observer_) {
+    events_.schedule(completion, [this, sw, mod, ok](Time t2) {
+      observer_(t2, sw, mod, ok);
+    });
+  }
+  return {completion, ok};
+}
+
+std::uint64_t UpdateCoordinator::begin(Time now, TxnRequest req, DoneFn done) {
+  const std::uint64_t id = next_id_++;
+  Txn& t = txns_[id];
+  t.id = id;
+  t.req = std::move(req);
+  t.done = std::move(done);
+  t.out.txn = id;
+  t.out.begin = now;
+
+  const int nsegs = static_cast<int>(t.req.plan.segments.size());
+  t.out.segments = nsegs;
+  t.segs.resize(static_cast<std::size_t>(nsegs));
+  t.dependents.resize(static_cast<std::size_t>(nsegs));
+  t.flips_left = nsegs;
+  for (int i = 0; i < nsegs; ++i) {
+    const net::UpdateSegment& seg =
+        t.req.plan.segments[static_cast<std::size_t>(i)];
+    SegState& s = t.segs[static_cast<std::size_t>(i)];
+    s.adds_pending = static_cast<int>(seg.add_nodes.size());
+    s.deps_pending = static_cast<int>(seg.flip_deps.size());
+    s.needs_signal = !seg.add_nodes.empty() || !seg.flip_deps.empty();
+    for (int d : seg.flip_deps)
+      t.dependents[static_cast<std::size_t>(d)].push_back(i);
+  }
+  t.removal_pending.reserve(t.req.plan.removals.size());
+  for (const net::RemovalGroup& g : t.req.plan.removals)
+    t.removal_pending.push_back(static_cast<int>(g.gate_flips.size()));
+
+  ++active_;
+  obs_txns_.inc();
+  obs_segments_.record(static_cast<std::uint64_t>(nsegs));
+  if (t.req.plan.out_of_order()) obs_out_of_order_.inc();
+  obs::trace_event(obs::update_phase_event(now, obs::kUpdateBegin,
+                                           static_cast<std::uint32_t>(id),
+                                           static_cast<std::uint32_t>(nsegs)));
+
+  if (config_.strategy == Strategy::kTwoPhase) {
+    begin_two_phase(now, t);
+    return id;
+  }
+
+  // kSegway: every add goes out immediately — new-path-only switches are
+  // unreachable until their segment's entry flips, so installing early is
+  // always safe. Each segment then releases itself.
+  for (int i = 0; i < nsegs; ++i) {
+    const net::UpdateSegment& seg =
+        t.req.plan.segments[static_cast<std::size_t>(i)];
+    for (net::NodeId sw : seg.add_nodes) {
+      ++t.outstanding;
+      events_.schedule(now, [this, id, i, sw](Time tnow) {
+        Txn* txn = find(id);
+        if (!txn) return;
+        if (txn->failed || txn->cancelled) {
+          on_add_done(tnow, id, i, sw, net::kInvalidRuleId, true, false);
+          return;
+        }
+        auto new_it = txn->req.new_rules.find(sw);
+        const bool virt = new_it == txn->req.new_rules.end();
+        net::FlowMod mod =
+            virt ? net::FlowMod{net::FlowModType::kInsert, net::Rule{}}
+                 : net::FlowMod{net::FlowModType::kInsert, new_it->second};
+        auto [c, ok] = dispatch_op(tnow, sw, mod, virt);
+        const net::RuleId rid = virt ? net::kInvalidRuleId : mod.rule.id;
+        events_.schedule(c, [this, id, i, sw, rid, ok](Time t2) {
+          on_add_done(t2, id, i, sw, rid, ok, true);
+        });
+      });
+    }
+    if (t.segs[static_cast<std::size_t>(i)].adds_pending == 0) {
+      events_.schedule(now, [this, id, i](Time tnow) {
+        seg_adds_complete(tnow, id, i);
+      });
+    }
+  }
+  return id;
+}
+
+void UpdateCoordinator::on_add_done(Time now, std::uint64_t id, int seg,
+                                    net::NodeId sw, net::RuleId rule, bool ok,
+                                    bool issued) {
+  Txn* t = find(id);
+  if (!t) return;
+  --t->outstanding;
+  if (issued) {
+    if (ok) {
+      ++t->out.adds;
+      obs_adds_.inc();
+      if (rule != net::kInvalidRuleId) t->added.emplace_back(sw, rule);
+    } else {
+      ++t->out.failed_ops;
+      obs_failed_ops_.inc();
+      t->failed = true;
+    }
+    --t->segs[static_cast<std::size_t>(seg)].adds_pending;
+  }
+
+  if (config_.strategy == Strategy::kTwoPhase) {
+    // Controller barrier: acks fire in completion order, so the event
+    // that drains `outstanding` runs at the phase's max ack time.
+    if (t->outstanding > 0) return;
+    t->phase_barrier = now;
+    if (t->cancelled || t->failed) {
+      // Phase-1 failure is the one thing even the naive controller can
+      // undo safely: nothing flipped yet, so deleting the adds restores
+      // the old state exactly.
+      delete_adds(now, *t);
+      if (!t->cancelled) {
+        obs_aborted_.inc();
+        obs::trace_event(obs::update_phase_event(
+            now, obs::kUpdateAbort, static_cast<std::uint32_t>(id), 0,
+            static_cast<std::uint32_t>(t->out.failed_ops)));
+      } else {
+        obs_cancelled_.inc();
+      }
+      t->out.done = now;
+      finish(now, id);
+      return;
+    }
+    two_phase_flips(now, id);
+    return;
+  }
+
+  if (t->cancelled || t->failed) {
+    check_stalled(now, id);
+    return;
+  }
+  SegState& s = t->segs[static_cast<std::size_t>(seg)];
+  if (s.adds_pending == 0) {
+    s.add_done = now;
+    seg_adds_complete(now, id, seg);
+  }
+}
+
+void UpdateCoordinator::seg_adds_complete(Time now, std::uint64_t id,
+                                          int seg) {
+  maybe_flip(now, id, seg);
+}
+
+void UpdateCoordinator::maybe_flip(Time now, std::uint64_t id, int seg) {
+  Txn* t = find(id);
+  if (!t || t->failed || t->cancelled) return;
+  SegState& s = t->segs[static_cast<std::size_t>(seg)];
+  if (s.flip_issued || s.adds_pending > 0 || s.deps_pending > 0) return;
+  s.flip_issued = true;
+  // The release reaches the entry by a switch-to-switch signal when it
+  // originated at another switch (an internal add barrier or a dependent
+  // flip); a segment with neither flips on the entry's own initiative.
+  const Time when = now + (s.needs_signal ? config_.signal_delay : 0);
+  ++t->outstanding;
+  events_.schedule(when, [this, id, seg](Time tnow) {
+    issue_flip(tnow, id, seg);
+  });
+}
+
+void UpdateCoordinator::issue_flip(Time now, std::uint64_t id, int seg) {
+  Txn* t = find(id);
+  if (!t) return;
+  if (t->failed || t->cancelled) {
+    --t->outstanding;
+    check_stalled(now, id);
+    return;
+  }
+  const net::NodeId entry =
+      t->req.plan.segments[static_cast<std::size_t>(seg)].entry;
+  const net::FlowMod mod = flip_mod(*t, seg);
+  // A flip with no pre-existing rule is an insert; remember its id so
+  // rollback/cancel can retire it like any other installed rule.
+  const net::RuleId inserted =
+      mod.type == net::FlowModType::kInsert ? mod.rule.id
+                                            : net::kInvalidRuleId;
+  auto [c, ok] = dispatch_op(now, entry, mod, is_virtual(*t, entry));
+  events_.schedule(c, [this, id, seg, entry, inserted, ok](Time t2) {
+    Txn* txn = find(id);
+    if (txn && ok && inserted != net::kInvalidRuleId)
+      txn->added.emplace_back(entry, inserted);
+    on_flip_done(t2, id, seg, ok);
+  });
+}
+
+void UpdateCoordinator::on_flip_done(Time now, std::uint64_t id, int seg,
+                                     bool ok) {
+  Txn* t = find(id);
+  if (!t) return;
+  --t->outstanding;
+  if (t->cancelled) {
+    check_stalled(now, id);
+    return;
+  }
+  if (!ok) {
+    ++t->out.failed_ops;
+    obs_failed_ops_.inc();
+    t->failed = true;
+    check_stalled(now, id);
+    return;
+  }
+  ++t->out.flips;
+  obs_flips_.inc();
+  SegState& s = t->segs[static_cast<std::size_t>(seg)];
+  s.flip_done = true;
+  s.flip_time = now;
+  t->flip_order.push_back(seg);
+  obs::trace_event(obs::update_phase_event(now, obs::kUpdateFlip,
+                                           static_cast<std::uint32_t>(id),
+                                           static_cast<std::uint32_t>(seg)));
+  if (t->failed) {
+    check_stalled(now, id);
+    return;
+  }
+  --t->flips_left;
+
+  // Release dependents (out-of-order segments waiting on this flip).
+  for (int d : t->dependents[static_cast<std::size_t>(seg)]) {
+    SegState& ds = t->segs[static_cast<std::size_t>(d)];
+    if (--ds.deps_pending == 0) maybe_flip(now, id, d);
+  }
+  // Release removal groups this flip was gating.
+  const auto& removals = t->req.plan.removals;
+  for (std::size_t g = 0; g < removals.size(); ++g) {
+    const auto& gate = removals[g].gate_flips;
+    if (std::find(gate.begin(), gate.end(), seg) == gate.end()) continue;
+    if (--t->removal_pending[g] == 0)
+      maybe_remove(now, id, static_cast<int>(g));
+  }
+
+  if (t->flips_left == 0) {
+    t->out.committed = true;
+    t->out.done = now;
+    obs_committed_.inc();
+    obs_completion_ns_.record(static_cast<std::uint64_t>(now - t->out.begin));
+    obs::trace_event(obs::update_phase_event(
+        now, obs::kUpdateCommit, static_cast<std::uint32_t>(id),
+        static_cast<std::uint32_t>(t->out.flips)));
+    finish(now, id);
+  }
+}
+
+void UpdateCoordinator::maybe_remove(Time now, std::uint64_t id, int group) {
+  Txn* t = find(id);
+  if (!t || t->failed || t->cancelled) return;
+  // Capture everything by value: the transaction may commit (and be
+  // erased) before the removal event fires. `old_rule` is what rollback
+  // must re-install if the transaction aborts after this delete landed
+  // (for a virtual node, a synthetic restore of its old next hop).
+  struct Op {
+    net::NodeId sw;
+    net::FlowMod mod;
+    net::Rule old_rule;
+    bool virt;
+  };
+  std::vector<Op> ops;
+  const net::RemovalGroup& g =
+      t->req.plan.removals[static_cast<std::size_t>(group)];
+  ops.reserve(g.remove_nodes.size());
+  for (net::NodeId n : g.remove_nodes) {
+    auto it = t->req.old_rules.find(n);
+    if (it != t->req.old_rules.end()) {
+      ops.push_back(Op{n, delete_mod(it->second.id), it->second, false});
+    } else {
+      net::Rule synth{net::kInvalidRuleId, 0, {},
+                      net::forward_to(static_cast<int>(old_successor(*t, n)))};
+      ops.push_back(Op{n, delete_mod(net::kInvalidRuleId), synth, true});
+    }
+  }
+  events_.schedule(
+      now + config_.signal_delay, [this, id, ops = std::move(ops)](Time tnow) {
+        Txn* txn = find(id);
+        if (txn && (txn->failed || txn->cancelled)) return;
+        for (const Op& op : ops) {
+          obs_removes_.inc();
+          // While the transaction is alive the delete counts as an
+          // outstanding op, so an abort elsewhere waits for it (rollback
+          // must re-install AFTER the delete completed, not racing it).
+          if (txn) ++txn->outstanding;
+          auto [c, ok] = dispatch_op(tnow, op.sw, op.mod, op.virt);
+          if (!txn) continue;
+          events_.schedule(c, [this, id, op, ok](Time t2) {
+            Txn* txn2 = find(id);
+            if (!txn2) return;
+            --txn2->outstanding;
+            if (ok) {
+              txn2->removed.push_back(
+                  Txn::RemovedRule{op.sw, op.old_rule, op.virt});
+            } else {
+              // The old rule survived its delete — nothing for rollback
+              // to restore; counted, not fatal (the update itself is
+              // already consistent).
+              ++txn2->out.failed_ops;
+              obs_failed_ops_.inc();
+            }
+            check_stalled(t2, id);
+          });
+        }
+      });
+}
+
+void UpdateCoordinator::check_stalled(Time now, std::uint64_t id) {
+  Txn* t = find(id);
+  if (!t || t->outstanding > 0 || t->rolling_back) return;
+  if (t->cancelled) {
+    delete_adds(now, *t);
+    obs_cancelled_.inc();
+    t->out.done = now;
+    finish(now, id);
+    return;
+  }
+  if (t->failed) start_rollback(now, id);
+}
+
+void UpdateCoordinator::start_rollback(Time now, std::uint64_t id) {
+  Txn* t = find(id);
+  if (!t || t->rolling_back) return;
+  t->rolling_back = true;
+  obs_aborted_.inc();
+  obs::trace_event(obs::update_phase_event(
+      now, obs::kUpdateAbort, static_cast<std::uint32_t>(id), 0,
+      static_cast<std::uint32_t>(t->out.failed_ops)));
+  // Reverse of add-before-flip: FIRST re-install the old rules whose
+  // gated removal already landed (their upstream commons are about to be
+  // un-flipped back onto them), THEN un-flip, THEN delete the adds.
+  if (t->removed.empty()) {
+    rollback_next_flip(now, id, t->flip_order.size());
+    return;
+  }
+  t->outstanding = static_cast<int>(t->removed.size());
+  std::vector<Txn::RemovedRule> restore = std::move(t->removed);
+  t->removed.clear();
+  for (const Txn::RemovedRule& r : restore) {
+    net::FlowMod mod{net::FlowModType::kInsert, r.rule};
+    auto [c, ok] = dispatch_op(now, r.sw, mod, r.virt);
+    if (!ok) {
+      ++t->out.failed_ops;
+      obs_failed_ops_.inc();
+    }
+    events_.schedule(c, [this, id](Time t2) {
+      Txn* txn = find(id);
+      if (!txn) return;
+      if (--txn->outstanding == 0)
+        rollback_next_flip(t2, id, txn->flip_order.size());
+    });
+  }
+}
+
+void UpdateCoordinator::rollback_next_flip(Time now, std::uint64_t id,
+                                           std::size_t idx) {
+  Txn* t = find(id);
+  if (!t) return;
+  if (idx == 0) {
+    // All flipped entries restored — the add rules are unreachable again
+    // and can be deleted without a barrier.
+    delete_adds(now, *t);
+    obs_rollback_flips_.inc(
+        static_cast<std::uint64_t>(t->out.rollback_flips));
+    t->out.done = now;
+    finish(now, id);
+    return;
+  }
+  const int seg = t->flip_order[idx - 1];
+  const net::NodeId entry =
+      t->req.plan.segments[static_cast<std::size_t>(seg)].entry;
+  const bool virt = is_virtual(*t, entry);
+  net::FlowMod mod;
+  auto old_it = t->req.old_rules.find(entry);
+  if (old_it != t->req.old_rules.end()) {
+    mod = net::FlowMod{net::FlowModType::kModify, old_it->second};
+  } else if (!virt) {
+    // The flip was an insert (no pre-existing rule at this common): it
+    // is recorded in `added` and retired by delete_adds() once every
+    // upstream entry has been restored. Nothing to un-flip here.
+    events_.schedule(now + config_.signal_delay, [this, id, idx](Time t3) {
+      rollback_next_flip(t3, id, idx - 1);
+    });
+    return;
+  } else {
+    mod = net::FlowMod{
+        net::FlowModType::kModify,
+        net::Rule{net::kInvalidRuleId, 0, {},
+                  net::forward_to(static_cast<int>(old_successor(*t, entry)))}};
+  }
+  ++t->out.rollback_flips;
+  auto [c, ok] = dispatch_op(now, entry, mod, virt);
+  events_.schedule(c, [this, id, idx, entry, ok](Time t2) {
+    Txn* txn = find(id);
+    if (!txn) return;
+    if (!ok) {
+      ++txn->out.failed_ops;
+      obs_failed_ops_.inc();
+      // The modify was refused — a reset wiped the flipped rule. Hermes
+      // reconciliation reinstalls from the RuleStore; mirror that by
+      // re-inserting the original old rule so the abort still converges
+      // to the OLD state.
+      auto it = txn->req.old_rules.find(entry);
+      if (it != txn->req.old_rules.end()) {
+        auto [c2, ok2] =
+            dispatch_op(t2, entry,
+                        net::FlowMod{net::FlowModType::kInsert, it->second},
+                        false);
+        if (!ok2) {
+          ++txn->out.failed_ops;
+          obs_failed_ops_.inc();
+        }
+        events_.schedule(c2 + config_.signal_delay,
+                         [this, id, idx](Time t3) {
+                           rollback_next_flip(t3, id, idx - 1);
+                         });
+        return;
+      }
+    }
+    events_.schedule(t2 + config_.signal_delay, [this, id, idx](Time t3) {
+      rollback_next_flip(t3, id, idx - 1);
+    });
+  });
+}
+
+void UpdateCoordinator::delete_adds(Time now, Txn& t) {
+  for (const auto& [sw, rid] : t.added) {
+    const net::FlowMod mod = delete_mod(rid);
+    if (mod_) mod_(now, sw, mod);
+    if (observer_) {
+      events_.schedule(now, [this, sw, mod](Time t2) {
+        observer_(t2, sw, mod, true);
+      });
+    }
+  }
+  t.added.clear();
+}
+
+void UpdateCoordinator::finish(Time now, std::uint64_t id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  Txn t = std::move(it->second);
+  txns_.erase(it);
+  --active_;
+  t.out.cancelled = t.cancelled;
+  if (t.out.done == 0) t.out.done = now;
+  if (t.done) t.done(now, t.out);
+}
+
+// --- kTwoPhase -------------------------------------------------------------
+
+void UpdateCoordinator::begin_two_phase(Time now, Txn& t) {
+  const Time half = config_.ctrl_rtt / 2;
+  std::vector<std::pair<int, net::NodeId>> adds;
+  for (std::size_t i = 0; i < t.req.plan.segments.size(); ++i)
+    for (net::NodeId sw : t.req.plan.segments[i].add_nodes)
+      adds.emplace_back(static_cast<int>(i), sw);
+  if (adds.empty()) {
+    const std::uint64_t id = t.id;
+    events_.schedule(now, [this, id](Time tnow) { two_phase_flips(tnow, id); });
+    return;
+  }
+  t.outstanding = static_cast<int>(adds.size());
+  int k = 0;
+  for (const auto& [seg, sw] : adds) {
+    const Time send = now + half + k * config_.ctrl_send_gap;
+    ++k;
+    const std::uint64_t id = t.id;
+    events_.schedule(send, [this, id, seg, sw, half](Time tnow) {
+      Txn* txn = find(id);
+      if (!txn) return;
+      if (txn->cancelled || txn->failed) {
+        on_add_done(tnow, id, seg, sw, net::kInvalidRuleId, true, false);
+        return;
+      }
+      auto new_it = txn->req.new_rules.find(sw);
+      const bool virt = new_it == txn->req.new_rules.end();
+      net::FlowMod mod =
+          virt ? net::FlowMod{net::FlowModType::kInsert, net::Rule{}}
+               : net::FlowMod{net::FlowModType::kInsert, new_it->second};
+      auto [c, ok] = dispatch_op(tnow, sw, mod, virt);
+      const net::RuleId rid = virt ? net::kInvalidRuleId : mod.rule.id;
+      // The controller learns of the completion one half-RTT later.
+      events_.schedule(c + half, [this, id, seg, sw, rid, ok](Time t2) {
+        on_add_done(t2, id, seg, sw, rid, ok, true);
+      });
+    });
+  }
+}
+
+void UpdateCoordinator::two_phase_flips(Time now, std::uint64_t id) {
+  Txn* t = find(id);
+  if (!t) return;
+  const Time half = config_.ctrl_rtt / 2;
+  const int nsegs = static_cast<int>(t->req.plan.segments.size());
+  t->outstanding = nsegs;
+  // The naive controller fires every flip as fast as it can serialize
+  // them, ignoring segment dependencies — this is where out-of-order
+  // reroutes transiently loop.
+  for (int seg = 0; seg < nsegs; ++seg) {
+    const Time send = now + half + seg * config_.ctrl_send_gap;
+    events_.schedule(send, [this, id, seg, half](Time tnow) {
+      Txn* txn = find(id);
+      if (!txn) return;
+      if (txn->cancelled) {
+        --txn->outstanding;
+        if (txn->outstanding == 0) two_phase_finish(tnow, id);
+        return;
+      }
+      const net::NodeId entry =
+          txn->req.plan.segments[static_cast<std::size_t>(seg)].entry;
+      const net::FlowMod mod = flip_mod(*txn, seg);
+      const net::RuleId inserted =
+          mod.type == net::FlowModType::kInsert ? mod.rule.id
+                                                : net::kInvalidRuleId;
+      auto [c, ok] = dispatch_op(tnow, entry, mod, is_virtual(*txn, entry));
+      events_.schedule(c + half, [this, id, seg, entry, inserted, c,
+                                  ok](Time t2) {
+        Txn* txn2 = find(id);
+        if (!txn2) return;
+        --txn2->outstanding;
+        if (ok && inserted != net::kInvalidRuleId)
+          txn2->added.emplace_back(entry, inserted);
+        if (ok) {
+          ++txn2->out.flips;
+          obs_flips_.inc();
+          SegState& s = txn2->segs[static_cast<std::size_t>(seg)];
+          s.flip_done = true;
+          s.flip_time = c;
+          txn2->flip_order.push_back(seg);
+          txn2->last_flip = std::max(txn2->last_flip, c);
+          obs::trace_event(obs::update_phase_event(
+              c, obs::kUpdateFlip, static_cast<std::uint32_t>(id),
+              static_cast<std::uint32_t>(seg)));
+        } else {
+          ++txn2->out.failed_ops;
+          obs_failed_ops_.inc();
+          txn2->failed = true;
+        }
+        if (txn2->outstanding == 0) two_phase_finish(t2, id);
+      });
+    });
+  }
+}
+
+void UpdateCoordinator::two_phase_finish(Time now, std::uint64_t id) {
+  Txn* t = find(id);
+  if (!t) return;
+  if (t->cancelled) {
+    delete_adds(now, *t);
+    obs_cancelled_.inc();
+    t->out.done = now;
+    finish(now, id);
+    return;
+  }
+  if (t->failed) {
+    // The naive controller has no per-segment rollback protocol: a
+    // phase-2 partial failure simply gives up, stranding the network in
+    // a MIXED old/new state (some entries flipped, some not). The update
+    // regression suite pins this down as the behavior Hermes avoids.
+    obs_aborted_.inc();
+    obs::trace_event(obs::update_phase_event(
+        now, obs::kUpdateAbort, static_cast<std::uint32_t>(id), 0,
+        static_cast<std::uint32_t>(t->out.failed_ops)));
+    t->out.done = now;
+    finish(now, id);
+    return;
+  }
+  t->out.committed = true;
+  // Fairness with kSegway: completion is when the network is consistently
+  // on the new path (the last flip's completion), not the final ack.
+  t->out.done = std::max(t->out.begin, t->last_flip);
+  obs_committed_.inc();
+  obs_completion_ns_.record(
+      static_cast<std::uint64_t>(t->out.done - t->out.begin));
+  obs::trace_event(obs::update_phase_event(
+      now, obs::kUpdateCommit, static_cast<std::uint32_t>(id),
+      static_cast<std::uint32_t>(t->out.flips)));
+
+  // Phase 3: retire every old-path-only rule, one controller fan-out.
+  const Time half = config_.ctrl_rtt / 2;
+  struct Op {
+    net::NodeId sw;
+    net::FlowMod mod;
+    bool virt;
+  };
+  std::vector<Op> ops;
+  for (const net::RemovalGroup& g : t->req.plan.removals) {
+    for (net::NodeId n : g.remove_nodes) {
+      auto it = t->req.old_rules.find(n);
+      if (it != t->req.old_rules.end())
+        ops.push_back(Op{n, delete_mod(it->second.id), false});
+      else
+        ops.push_back(Op{n, delete_mod(net::kInvalidRuleId), true});
+    }
+  }
+  int k = 0;
+  for (Op& op : ops) {
+    const Time send = now + half + k * config_.ctrl_send_gap;
+    ++k;
+    events_.schedule(send, [this, op = std::move(op)](Time tnow) {
+      obs_removes_.inc();
+      dispatch_op(tnow, op.sw, op.mod, op.virt);
+    });
+  }
+  finish(now, id);
+}
+
+void UpdateCoordinator::cancel(std::uint64_t txn) {
+  Txn* t = find(txn);
+  if (!t || t->cancelled) return;
+  t->cancelled = true;
+  if (t->outstanding == 0 && !t->rolling_back) {
+    const std::uint64_t id = txn;
+    events_.schedule(events_.now(), [this, id](Time now) {
+      Txn* t2 = find(id);
+      if (!t2 || !t2->cancelled) return;
+      if (config_.strategy == Strategy::kTwoPhase) {
+        if (t2->outstanding == 0) two_phase_finish(now, id);
+      } else {
+        check_stalled(now, id);
+      }
+    });
+  }
+}
+
+}  // namespace hermes::update

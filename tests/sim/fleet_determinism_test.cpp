@@ -10,6 +10,8 @@
 // ring's drop-oldest slots are racy by design under concurrency.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,6 +28,16 @@ namespace {
 
 using workloads::FlowSpec;
 using workloads::Job;
+
+/// HERMES_FLEET_THREADS caps the parallel thread counts the suite spins
+/// up — under ThreadSanitizer the CI job sets 2, keeping the bit-identity
+/// checks meaningful (1 vs 2 threads) at tsan-tolerable cost.
+int capped_threads(int requested) {
+  const char* cap = std::getenv("HERMES_FLEET_THREADS");
+  if (cap == nullptr) return requested;
+  int limit = std::atoi(cap);
+  return limit > 0 ? std::min(requested, limit) : requested;
+}
 
 SimConfig fleet_config(int threads, bool faults) {
   SimConfig config;
@@ -82,6 +94,7 @@ std::string filter_export(const std::string& json) {
 }
 
 RunOutput run_fleet(int threads, bool faults) {
+  threads = capped_threads(threads);
   obs::Registry reg(/*trace_capacity=*/0);
   obs::attach(&reg);
   net::Topology topo = net::fat_tree(4);

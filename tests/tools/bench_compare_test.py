@@ -78,16 +78,41 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1)
         self.assertIn("non-numeric", proc.stderr)
 
-    def test_non_numeric_row_field_reported_but_ungated_by_default(self):
+    def test_non_numeric_row_field_fails_by_default(self):
+        # Structural breakage in rows gates even under --gate derived: a
+        # bench whose row field turned null is broken, not noisy.
         base = doc(results=[{"case": "a", "ns": 10.0}])
         cand = doc(results=[{"case": "a", "ns": None}])
         proc = run_compare(base, cand)
-        self.assertEqual(proc.returncode, 0, proc.stderr)
-        self.assertIn("non-numeric", proc.stdout)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("non-numeric", proc.stderr)
 
-    def test_non_numeric_row_field_fails_with_gate_all(self):
+    def test_missing_row_field_fails_by_default(self):
         base = doc(results=[{"case": "a", "ns": 10.0}])
-        cand = doc(results=[{"case": "a", "ns": None}])
+        cand = doc(results=[{"case": "a"}])
+        proc = run_compare(base, cand)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("missing from", proc.stderr)
+
+    def test_missing_row_fails_by_default(self):
+        base = doc(results=[{"case": "a", "ns": 10.0},
+                            {"case": "b", "ns": 20.0}])
+        cand = doc(results=[{"case": "a", "ns": 10.0}])
+        proc = run_compare(base, cand)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("row[b]", proc.stderr)
+
+    def test_row_value_regression_ungated_by_default(self):
+        # VALUE changes in rows are machine-dependent: reported, no gate.
+        base = doc(results=[{"case": "a", "ns": 10.0}])
+        cand = doc(results=[{"case": "a", "ns": 100.0}])
+        proc = run_compare(base, cand)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("worse", proc.stdout)
+
+    def test_row_value_regression_fails_with_gate_all(self):
+        base = doc(results=[{"case": "a", "ns": 10.0}])
+        cand = doc(results=[{"case": "a", "ns": 100.0}])
         proc = run_compare(base, cand, "--gate", "all")
         self.assertEqual(proc.returncode, 1)
 

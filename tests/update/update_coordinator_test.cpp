@@ -1,0 +1,427 @@
+// Property tests for the consistent-update coordinator (src/update/):
+// ez-Segway execution must never create a blackhole or loop instant for
+// the in-flight flow — across commits, aborts (add and flip failures,
+// including failures AFTER a gated removal landed), and cancels — while
+// the naive two-phase baseline measurably loops on out-of-order reroutes
+// and strands a mixed state on partial failure.
+//
+// The harness is a FakeFabric: per-switch rule tables keyed by rule id,
+// uniform (per-switch overridable) apply latency, and scripted failures.
+// Every completed operation feeds a ConsistencyChecker mirror that is
+// re-traced at each change instant.
+#include "update/update_coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/rule.h"
+#include "net/update_plan.h"
+#include "obs/metrics.h"
+#include "sim/event_queue.h"
+#include "update/consistency_checker.h"
+
+namespace hermes::update {
+namespace {
+
+constexpr Duration kLatency = 10;
+constexpr Duration kSignal = 5;
+
+/// Per-switch rule tables with scripted latency and failures. Rule ids
+/// key the tables (one flow => at most one rule per switch here).
+class FakeFabric {
+ public:
+  using Table = std::map<net::RuleId, net::Rule>;
+
+  /// Every op on `sw` of this verb fails (rejected, table untouched).
+  void fail(net::NodeId sw, net::FlowModType type) {
+    fail_.insert({sw, type});
+  }
+  /// Ops on `sw` complete after `latency` instead of the default.
+  void set_latency(net::NodeId sw, Duration latency) {
+    latency_[sw] = latency;
+  }
+
+  UpdateCoordinator::BatchDispatch batch_dispatch() {
+    return [this](Time now, net::NodeId sw, net::FlowModBatch& batch) {
+      for (std::size_t i = 0; i < batch.size(); ++i)
+        batch.complete(i, now + latency_of(sw), apply(sw, batch.mod(i)));
+    };
+  }
+  UpdateCoordinator::ModDispatch mod_dispatch() {
+    return [this](Time, net::NodeId sw, const net::FlowMod& mod) {
+      apply(sw, mod);
+    };
+  }
+
+  Table& table(net::NodeId sw) { return tables_[sw]; }
+  bool has_rule(net::NodeId sw, net::RuleId id) const {
+    auto it = tables_.find(sw);
+    return it != tables_.end() && it->second.count(id) > 0;
+  }
+  /// The single rule installed at `sw` (fails the test if not exactly 1).
+  const net::Rule& only_rule(net::NodeId sw) const {
+    const Table& t = tables_.at(sw);
+    EXPECT_EQ(t.size(), 1u) << "switch " << sw;
+    return t.begin()->second;
+  }
+  bool empty(net::NodeId sw) const {
+    auto it = tables_.find(sw);
+    return it == tables_.end() || it->second.empty();
+  }
+
+ private:
+  Duration latency_of(net::NodeId sw) const {
+    auto it = latency_.find(sw);
+    return it == latency_.end() ? kLatency : it->second;
+  }
+  bool apply(net::NodeId sw, const net::FlowMod& mod) {
+    if (fail_.count({sw, mod.type})) return false;
+    Table& t = tables_[sw];
+    switch (mod.type) {
+      case net::FlowModType::kInsert:
+        t[mod.rule.id] = mod.rule;
+        return true;
+      case net::FlowModType::kModify: {
+        auto it = t.find(mod.rule.id);
+        if (it == t.end()) return false;
+        it->second = mod.rule;
+        return true;
+      }
+      case net::FlowModType::kDelete:
+        return t.erase(mod.rule.id) > 0;
+    }
+    return false;
+  }
+
+  std::unordered_map<net::NodeId, Table> tables_;
+  std::unordered_map<net::NodeId, Duration> latency_;
+  std::set<std::pair<net::NodeId, net::FlowModType>> fail_;
+};
+
+net::Rule old_rule_for(net::NodeId node, net::NodeId successor) {
+  return net::Rule{100 + static_cast<net::RuleId>(node), 1, {},
+                   net::forward_to(static_cast<int>(successor))};
+}
+
+net::Rule new_rule_for(net::NodeId node, net::NodeId successor) {
+  return net::Rule{200 + static_cast<net::RuleId>(node), 1, {},
+                   net::forward_to(static_cast<int>(successor))};
+}
+
+/// Builds the rerouting request for old_path -> new_path with the
+/// port-is-next-node convention, installs the old rules into the fabric,
+/// and seeds the checker mirror with the old path.
+UpdateCoordinator::TxnRequest make_request(const net::Path& old_path,
+                                           const net::Path& new_path,
+                                           FakeFabric& fabric,
+                                           ConsistencyChecker& checker) {
+  UpdateCoordinator::TxnRequest req;
+  req.plan = net::plan_update(old_path, new_path);
+  for (std::size_t i = 0; i + 1 < old_path.size(); ++i) {
+    net::Rule rule = old_rule_for(old_path[i], old_path[i + 1]);
+    req.old_rules.emplace(old_path[i], rule);
+    fabric.table(old_path[i]).emplace(rule.id, rule);
+  }
+  for (std::size_t i = 0; i + 1 < new_path.size(); ++i)
+    req.new_rules.emplace(new_path[i],
+                          new_rule_for(new_path[i], new_path[i + 1]));
+  checker.add_flow(0, old_path);
+  return req;
+}
+
+struct ObservedOp {
+  Time time = 0;
+  net::NodeId sw = net::kInvalidNode;
+  net::FlowModType type = net::FlowModType::kInsert;
+  bool ok = false;
+};
+
+CoordinatorConfig segway_config() {
+  CoordinatorConfig c;
+  c.signal_delay = kSignal;
+  return c;
+}
+
+/// One coordinator + fabric + checker wired together.
+struct Harness {
+  explicit Harness(CoordinatorConfig config = segway_config())
+      : coordinator(events, fabric.batch_dispatch(), fabric.mod_dispatch(),
+                    config) {
+    coordinator.set_observer(
+        [this](Time t, net::NodeId sw, const net::FlowMod& mod, bool ok) {
+          ops.push_back({t, sw, mod.type, ok});
+          checker.apply(0, sw, mod, ok);
+        });
+  }
+
+  std::uint64_t run(const net::Path& old_path, const net::Path& new_path) {
+    auto req = make_request(old_path, new_path, fabric, checker);
+    std::uint64_t id = coordinator.begin(
+        events.now(), std::move(req),
+        [this](Time, const TxnOutcome& o) { outcome = o; });
+    return id;
+  }
+
+  sim::EventQueue events;
+  FakeFabric fabric;
+  ConsistencyChecker checker;
+  UpdateCoordinator coordinator;
+  std::vector<ObservedOp> ops;
+  TxnOutcome outcome;
+};
+
+TEST(UpdateCoordinator, InOrderCommitTimingAndFinalState) {
+  Harness h;
+  h.run({0, 1, 2, 3}, {0, 4, 5, 3});
+  h.events.run_all();
+
+  EXPECT_TRUE(h.outcome.committed);
+  EXPECT_FALSE(h.outcome.cancelled);
+  EXPECT_EQ(h.outcome.segments, 1);
+  EXPECT_EQ(h.outcome.adds, 2);
+  EXPECT_EQ(h.outcome.flips, 1);
+  EXPECT_EQ(h.outcome.failed_ops, 0);
+  EXPECT_EQ(h.outcome.rollback_flips, 0);
+  // Adds land at kLatency; the barrier release pays one signal_delay; the
+  // entry flip then takes another kLatency. Commit = last flip completion.
+  EXPECT_EQ(h.outcome.done, kLatency + kSignal + kLatency);
+
+  // Fabric converged to the pure-new state: entry keeps its rule id with
+  // the new action, internals hold fresh rules, old internals are empty.
+  EXPECT_EQ(h.fabric.only_rule(0).id, net::RuleId{100});
+  EXPECT_EQ(h.fabric.only_rule(0).action, net::forward_to(4));
+  EXPECT_EQ(h.fabric.only_rule(4).action, net::forward_to(5));
+  EXPECT_EQ(h.fabric.only_rule(5).action, net::forward_to(3));
+  EXPECT_TRUE(h.fabric.empty(1));
+  EXPECT_TRUE(h.fabric.empty(2));
+
+  EXPECT_EQ(h.checker.violation_instants(), 0);
+  EXPECT_EQ(h.checker.trace(0), net::ForwardTrace::kDelivered);
+  EXPECT_EQ(h.checker.next_hop(0).at(0), 4);
+  EXPECT_GT(h.checker.checks(), 0);
+}
+
+TEST(UpdateCoordinator, OutOfOrderFlipWaitsForDownstreamSegments) {
+  Harness h;
+  // old 0-1-2-3, new 0-2-1-3: segment 2->1 is out-of-order and must flip
+  // strictly after segment 1->3.
+  h.run({0, 1, 2, 3}, {0, 2, 1, 3});
+  h.events.run_all();
+
+  EXPECT_TRUE(h.outcome.committed);
+  EXPECT_EQ(h.outcome.flips, 3);
+  EXPECT_EQ(h.outcome.adds, 0);
+  // Independent flips complete at kLatency; segment 1's release then pays
+  // signal_delay + kLatency on top of segment 2's completion.
+  EXPECT_EQ(h.outcome.done, kLatency + kSignal + kLatency);
+
+  Time flip_at_1 = 0, flip_at_2 = 0;
+  for (const ObservedOp& op : h.ops) {
+    if (op.type != net::FlowModType::kModify) continue;
+    if (op.sw == 1) flip_at_1 = op.time;
+    if (op.sw == 2) flip_at_2 = op.time;
+  }
+  EXPECT_GT(flip_at_1, 0);
+  EXPECT_GT(flip_at_2, flip_at_1);  // the loop-freedom ordering
+
+  EXPECT_EQ(h.checker.violation_instants(), 0);
+  EXPECT_EQ(h.checker.trace(0), net::ForwardTrace::kDelivered);
+  EXPECT_EQ(h.checker.next_hop(0).at(0), 2);
+  EXPECT_EQ(h.checker.next_hop(0).at(2), 1);
+  EXPECT_EQ(h.checker.next_hop(0).at(1), 3);
+}
+
+TEST(UpdateCoordinator, AddFailureRollsBackToExactOldState) {
+  Harness h;
+  h.fabric.fail(5, net::FlowModType::kInsert);
+  h.run({0, 1, 2, 3}, {0, 4, 5, 3});
+  h.events.run_all();
+
+  EXPECT_FALSE(h.outcome.committed);
+  EXPECT_FALSE(h.outcome.cancelled);
+  EXPECT_EQ(h.outcome.failed_ops, 1);
+  EXPECT_EQ(h.outcome.flips, 0);
+  EXPECT_EQ(h.outcome.rollback_flips, 0);
+
+  // Old state byte-for-byte: no flip ever fired, the sibling add was
+  // deleted, old rules untouched.
+  for (net::NodeId sw : {0, 1, 2})
+    EXPECT_EQ(h.fabric.only_rule(sw), old_rule_for(sw, sw + 1));
+  EXPECT_TRUE(h.fabric.empty(4));
+  EXPECT_TRUE(h.fabric.empty(5));
+
+  EXPECT_EQ(h.checker.violation_instants(), 0);
+  EXPECT_EQ(h.checker.trace(0), net::ForwardTrace::kDelivered);
+  EXPECT_EQ(h.checker.next_hop(0).at(0), 1);
+}
+
+TEST(UpdateCoordinator, FlipFailureUnflipsCommittedEntries) {
+  Harness h;
+  // old 0-1-2-3-4, new 0-5-2-6-4: two segments. Entry 0 flips fine;
+  // entry 2's modify is rejected, forcing a rollback that un-flips 0.
+  h.fabric.fail(2, net::FlowModType::kModify);
+  h.run({0, 1, 2, 3, 4}, {0, 5, 2, 6, 4});
+  h.events.run_all();
+
+  EXPECT_FALSE(h.outcome.committed);
+  EXPECT_EQ(h.outcome.failed_ops, 1);
+  EXPECT_EQ(h.outcome.adds, 2);
+  EXPECT_EQ(h.outcome.flips, 1);
+  EXPECT_EQ(h.outcome.rollback_flips, 1);
+
+  for (net::NodeId sw : {0, 1, 2, 3})
+    EXPECT_EQ(h.fabric.only_rule(sw), old_rule_for(sw, sw + 1));
+  EXPECT_TRUE(h.fabric.empty(5));
+  EXPECT_TRUE(h.fabric.empty(6));
+
+  EXPECT_EQ(h.checker.violation_instants(), 0);
+  EXPECT_EQ(h.checker.trace(0), net::ForwardTrace::kDelivered);
+}
+
+TEST(UpdateCoordinator, LateFailureRestoresAlreadyRemovedRules) {
+  Harness h;
+  // Segment 0 (entry 0, add 5) completes fast, its removal gate clears,
+  // and old rule 1 is DELETED — all long before segment 1's slow add
+  // (node 6, latency 100) lets entry 2 flip... which then fails. The
+  // rollback must re-install rule 1 BEFORE un-flipping entry 0, or the
+  // restored old path would blackhole at 1.
+  h.fabric.set_latency(6, 100);
+  h.fabric.fail(2, net::FlowModType::kModify);
+  h.run({0, 1, 2, 3, 4}, {0, 5, 2, 6, 4});
+
+  // Sanity mid-run: the gated removal really does land first.
+  h.events.run_until(60);
+  EXPECT_TRUE(h.fabric.empty(1));
+  h.events.run_all();
+
+  EXPECT_FALSE(h.outcome.committed);
+  EXPECT_EQ(h.outcome.rollback_flips, 1);
+
+  // Pure old state again, including the re-installed rule at 1.
+  for (net::NodeId sw : {0, 1, 2, 3})
+    EXPECT_EQ(h.fabric.only_rule(sw), old_rule_for(sw, sw + 1));
+  EXPECT_TRUE(h.fabric.empty(5));
+  EXPECT_TRUE(h.fabric.empty(6));
+
+  EXPECT_EQ(h.checker.violation_instants(), 0);
+  EXPECT_EQ(h.checker.trace(0), net::ForwardTrace::kDelivered);
+}
+
+TEST(UpdateCoordinator, CancelMidFlightDeletesInstalledAdds) {
+  Harness h;
+  std::uint64_t id = h.run({0, 1, 2, 3}, {0, 4, 5, 3});
+  // Let the adds dispatch (they complete at kLatency) and cancel while
+  // they are in flight.
+  h.events.run_until(kLatency / 2);
+  h.coordinator.cancel(id);
+  h.events.run_all();
+
+  EXPECT_TRUE(h.outcome.cancelled);
+  EXPECT_FALSE(h.outcome.committed);
+  EXPECT_EQ(h.coordinator.active(), 0);
+
+  for (net::NodeId sw : {0, 1, 2})
+    EXPECT_EQ(h.fabric.only_rule(sw), old_rule_for(sw, sw + 1));
+  EXPECT_TRUE(h.fabric.empty(4));
+  EXPECT_TRUE(h.fabric.empty(5));
+  EXPECT_EQ(h.checker.violation_instants(), 0);
+}
+
+TEST(UpdateCoordinator, ZeroSignalDelayCommitsAtAddPlusFlipLatency) {
+  Harness h{CoordinatorConfig{}};
+  h.run({0, 1, 2, 3}, {0, 4, 5, 3});
+  h.events.run_all();
+  EXPECT_TRUE(h.outcome.committed);
+  // No signaling cost: barrier at kLatency, flip completes one kLatency
+  // later.
+  EXPECT_EQ(h.outcome.done, 2 * kLatency);
+}
+
+TEST(UpdateCoordinator, MetricsCountTransactionLifecycle) {
+  obs::Registry registry;
+  obs::attach(&registry);
+  {
+    Harness committed;
+    committed.run({0, 1, 2, 3}, {0, 2, 1, 3});  // out-of-order, commits
+    committed.events.run_all();
+
+    Harness aborted;
+    aborted.fabric.fail(5, net::FlowModType::kInsert);
+    aborted.run({0, 1, 2, 3}, {0, 4, 5, 3});
+    aborted.events.run_all();
+  }
+  obs::attach(nullptr);
+
+  EXPECT_EQ(registry.counter_value("update.txns"), 2u);
+  EXPECT_EQ(registry.counter_value("update.committed"), 1u);
+  EXPECT_EQ(registry.counter_value("update.aborted"), 1u);
+  EXPECT_EQ(registry.counter_value("update.cancelled"), 0u);
+  EXPECT_EQ(registry.counter_value("update.out_of_order_txns"), 1u);
+  EXPECT_EQ(registry.counter_value("update.flips"), 3u);
+  EXPECT_EQ(registry.counter_value("update.adds"), 1u);  // sibling of the fail
+  EXPECT_EQ(registry.counter_value("update.failed_ops"), 1u);
+  EXPECT_EQ(registry.histogram_summary("update.segments").count, 2u);
+  EXPECT_EQ(registry.histogram_summary("update.completion_ns").count, 1u);
+}
+
+CoordinatorConfig two_phase_config() {
+  CoordinatorConfig c;
+  c.strategy = Strategy::kTwoPhase;
+  c.ctrl_rtt = 40;
+  c.ctrl_send_gap = 2;
+  return c;
+}
+
+TEST(UpdateCoordinator, TwoPhaseLoopsOnOutOfOrderRerouteWhereSegwayDoesNot) {
+  // The same out-of-order reroute, both strategies. ez-Segway: zero
+  // violation instants. Naive two-phase fires all flips as fast as it
+  // can serialize them: entry 2 flips onto not-yet-flipped entry 1 and
+  // the flow transiently loops.
+  Harness segway;
+  segway.run({0, 1, 2, 3}, {0, 2, 1, 3});
+  segway.events.run_all();
+  ASSERT_TRUE(segway.outcome.committed);
+  EXPECT_EQ(segway.checker.violation_instants(), 0);
+
+  Harness two_phase{two_phase_config()};
+  two_phase.run({0, 1, 2, 3}, {0, 2, 1, 3});
+  two_phase.events.run_all();
+  ASSERT_TRUE(two_phase.outcome.committed);
+  EXPECT_GT(two_phase.checker.loop_instants(), 0);
+  // Both converge to the new path eventually...
+  EXPECT_EQ(two_phase.checker.trace(0), net::ForwardTrace::kDelivered);
+  EXPECT_EQ(two_phase.checker.next_hop(0).at(0), 2);
+  // ...but the controller round-trips make two-phase slower too.
+  EXPECT_GT(two_phase.outcome.done, segway.outcome.done);
+}
+
+TEST(UpdateCoordinator, TwoPhasePartialFlipFailureStrandsMixedState) {
+  // Entry 1's flip (segment 1->3) is rejected after entries 0 and 2
+  // already flipped. The naive controller gives up without rolling back:
+  // the fabric is permanently 0->2->1->2... — a forwarding loop that is
+  // neither the old nor the new path. This is exactly the inconsistency
+  // ez-Segway's dependency order makes impossible (the failing entry
+  // would have been flipped FIRST, before anything pointed at it).
+  Harness h{two_phase_config()};
+  h.fabric.fail(1, net::FlowModType::kModify);
+  h.run({0, 1, 2, 3}, {0, 2, 1, 3});
+  h.events.run_all();
+
+  EXPECT_FALSE(h.outcome.committed);
+  EXPECT_EQ(h.outcome.failed_ops, 1);
+  EXPECT_EQ(h.outcome.rollback_flips, 0);  // no rollback protocol
+
+  EXPECT_EQ(h.fabric.only_rule(0).action, net::forward_to(2));  // new
+  EXPECT_EQ(h.fabric.only_rule(2).action, net::forward_to(1));  // new
+  EXPECT_EQ(h.fabric.only_rule(1).action, net::forward_to(2));  // old
+  EXPECT_EQ(h.checker.trace(0), net::ForwardTrace::kLoop);
+  EXPECT_GT(h.checker.loop_instants(), 0);
+}
+
+}  // namespace
+}  // namespace hermes::update

@@ -1,0 +1,193 @@
+// Unit tests for ez-Segway update planning (net/update_plan.h): segment
+// decomposition, in-order/out-of-order classification, flip dependencies,
+// removal gates, and the forwarding-trace oracle.
+#include "net/update_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <unordered_set>
+
+namespace hermes::net {
+namespace {
+
+TEST(UpdatePlan, DisjointMiddleSingleSegment) {
+  // old 0-1-2-3, new 0-4-5-3: one segment spanning the whole path.
+  UpdatePlan plan = plan_update({0, 1, 2, 3}, {0, 4, 5, 3});
+  ASSERT_EQ(plan.commons, (std::vector<NodeId>{0, 3}));
+  ASSERT_EQ(plan.segments.size(), 1u);
+  const UpdateSegment& seg = plan.segments[0];
+  EXPECT_EQ(seg.entry, 0);
+  EXPECT_EQ(seg.exit, 3);
+  EXPECT_EQ(seg.add_nodes, (std::vector<NodeId>{4, 5}));
+  EXPECT_TRUE(seg.in_order);
+  EXPECT_TRUE(seg.flip_deps.empty());
+  EXPECT_FALSE(plan.out_of_order());
+
+  ASSERT_EQ(plan.removals.size(), 1u);
+  EXPECT_EQ(plan.removals[0].remove_nodes, (std::vector<NodeId>{1, 2}));
+  // Removing 1,2 is gated on the only upstream common (0 = segment 0).
+  EXPECT_EQ(plan.removals[0].gate_flips, (std::vector<int>{0}));
+}
+
+TEST(UpdatePlan, MultiSegmentInOrder) {
+  // old 0-1-2-3-4, new 0-5-2-6-4: commons 0,2,4 -> two in-order segments.
+  UpdatePlan plan = plan_update({0, 1, 2, 3, 4}, {0, 5, 2, 6, 4});
+  ASSERT_EQ(plan.commons, (std::vector<NodeId>{0, 2, 4}));
+  ASSERT_EQ(plan.segments.size(), 2u);
+  EXPECT_EQ(plan.segments[0].entry, 0);
+  EXPECT_EQ(plan.segments[0].exit, 2);
+  EXPECT_EQ(plan.segments[0].add_nodes, (std::vector<NodeId>{5}));
+  EXPECT_TRUE(plan.segments[0].in_order);
+  EXPECT_EQ(plan.segments[1].entry, 2);
+  EXPECT_EQ(plan.segments[1].exit, 4);
+  EXPECT_EQ(plan.segments[1].add_nodes, (std::vector<NodeId>{6}));
+  EXPECT_TRUE(plan.segments[1].in_order);
+
+  ASSERT_EQ(plan.removals.size(), 2u);
+  EXPECT_EQ(plan.removals[0].remove_nodes, (std::vector<NodeId>{1}));
+  EXPECT_EQ(plan.removals[0].gate_flips, (std::vector<int>{0}));
+  EXPECT_EQ(plan.removals[1].remove_nodes, (std::vector<NodeId>{3}));
+  // 3 sits downstream of commons 0 AND 2 on the old path: both gate it.
+  EXPECT_EQ(plan.removals[1].gate_flips, (std::vector<int>{0, 1}));
+}
+
+TEST(UpdatePlan, OutOfOrderSwapGetsReversedDependencies) {
+  // old 0-1-2-3, new 0-2-1-3: the new path visits 2 before 1, reversing
+  // their old-path order. Segment 2->1 jumps BACKWARD on the old path and
+  // must wait for every later segment's flip.
+  UpdatePlan plan = plan_update({0, 1, 2, 3}, {0, 2, 1, 3});
+  ASSERT_EQ(plan.commons, (std::vector<NodeId>{0, 2, 1, 3}));
+  ASSERT_EQ(plan.segments.size(), 3u);
+
+  EXPECT_TRUE(plan.segments[0].in_order);   // 0 -> 2 (old pos 0 < 2)
+  EXPECT_FALSE(plan.segments[1].in_order);  // 2 -> 1 (old pos 2 > 1)
+  EXPECT_TRUE(plan.segments[2].in_order);   // 1 -> 3 (old pos 1 < 3)
+  EXPECT_TRUE(plan.out_of_order());
+
+  EXPECT_TRUE(plan.segments[0].flip_deps.empty());
+  EXPECT_EQ(plan.segments[1].flip_deps, (std::vector<int>{2}));
+  EXPECT_TRUE(plan.segments[2].flip_deps.empty());
+  // All nodes are common: nothing to add, nothing to remove.
+  for (const UpdateSegment& seg : plan.segments)
+    EXPECT_TRUE(seg.add_nodes.empty());
+  EXPECT_TRUE(plan.removals.empty());
+}
+
+TEST(UpdatePlan, DestinationNeverGatesRemovals) {
+  // old 0-1-2, new 0-3-2: the destination 2 is a common without a
+  // segment; only common 0 (segment 0) gates removing node 1.
+  UpdatePlan plan = plan_update({0, 1, 2}, {0, 3, 2});
+  ASSERT_EQ(plan.removals.size(), 1u);
+  EXPECT_EQ(plan.removals[0].gate_flips, (std::vector<int>{0}));
+}
+
+TEST(UpdatePlan, IdenticalPathsDegenerate) {
+  // Same path in and out: every node is common, segments have no adds,
+  // nothing is removed. (The coordinator treats such flips as no-ops.)
+  UpdatePlan plan = plan_update({0, 1, 2}, {0, 1, 2});
+  EXPECT_EQ(plan.commons, (std::vector<NodeId>{0, 1, 2}));
+  ASSERT_EQ(plan.segments.size(), 2u);
+  EXPECT_TRUE(plan.removals.empty());
+  EXPECT_FALSE(plan.out_of_order());
+}
+
+TEST(TraceForwarding, DeliveredBlackholeLoop) {
+  std::unordered_map<NodeId, NodeId> next_hop{{0, 1}, {1, 2}};
+  EXPECT_EQ(trace_forwarding(next_hop, 0, 2), ForwardTrace::kDelivered);
+  EXPECT_EQ(trace_forwarding(next_hop, 0, 3), ForwardTrace::kBlackhole);
+  next_hop[2] = 0;
+  EXPECT_EQ(trace_forwarding(next_hop, 0, 3), ForwardTrace::kLoop);
+  // Degenerate: already at the destination.
+  EXPECT_EQ(trace_forwarding({}, 5, 5), ForwardTrace::kDelivered);
+}
+
+/// Structural invariants every plan must satisfy, fuzzed over random
+/// loop-free path pairs on a small node universe.
+TEST(UpdatePlanProperty, RandomReroutesAreStructurallySound) {
+  std::mt19937_64 rng(0xC0FFEE);
+  const int kNodes = 16;
+  auto random_path = [&](NodeId src, NodeId dst) {
+    // Random loop-free src->dst path through a shuffled middle.
+    std::vector<NodeId> middle;
+    for (NodeId n = 0; n < kNodes; ++n)
+      if (n != src && n != dst) middle.push_back(n);
+    std::shuffle(middle.begin(), middle.end(), rng);
+    std::size_t len = rng() % middle.size();
+    Path path{src};
+    path.insert(path.end(), middle.begin(),
+                middle.begin() + static_cast<std::ptrdiff_t>(len));
+    path.push_back(dst);
+    return path;
+  };
+
+  for (int trial = 0; trial < 500; ++trial) {
+    NodeId src = static_cast<NodeId>(rng() % kNodes);
+    NodeId dst = static_cast<NodeId>(rng() % kNodes);
+    if (src == dst) continue;
+    Path old_path = random_path(src, dst);
+    Path new_path = random_path(src, dst);
+    UpdatePlan plan = plan_update(old_path, new_path);
+
+    std::unordered_set<NodeId> old_set(old_path.begin(), old_path.end());
+    std::unordered_set<NodeId> new_set(new_path.begin(), new_path.end());
+
+    // Commons: exactly the intersection, in new-path order, endpoints in.
+    ASSERT_GE(plan.commons.size(), 2u);
+    EXPECT_EQ(plan.commons.front(), src);
+    EXPECT_EQ(plan.commons.back(), dst);
+    for (NodeId c : plan.commons) {
+      EXPECT_TRUE(old_set.count(c));
+      EXPECT_TRUE(new_set.count(c));
+    }
+    ASSERT_EQ(plan.segments.size(), plan.commons.size() - 1);
+
+    std::size_t adds = 0;
+    for (std::size_t i = 0; i < plan.segments.size(); ++i) {
+      const UpdateSegment& seg = plan.segments[i];
+      EXPECT_EQ(seg.entry, plan.commons[i]);
+      EXPECT_EQ(seg.exit, plan.commons[i + 1]);
+      for (NodeId a : seg.add_nodes) {
+        // Adds are new-path-only internals.
+        EXPECT_TRUE(new_set.count(a));
+        EXPECT_FALSE(old_set.count(a));
+        ++adds;
+      }
+      // Dependencies only point at LATER segments (no cycles), and only
+      // out-of-order segments carry any.
+      if (seg.in_order) {
+        EXPECT_TRUE(seg.flip_deps.empty());
+      }
+      for (int d : seg.flip_deps) EXPECT_GT(d, static_cast<int>(i));
+    }
+    // Every new-path-only node is added exactly once.
+    std::size_t expected_adds = 0;
+    for (NodeId n : new_path)
+      if (!old_set.count(n)) ++expected_adds;
+    EXPECT_EQ(adds, expected_adds);
+
+    // Every old-path-only node is removed exactly once, with at least
+    // one gating flip.
+    std::size_t removes = 0;
+    for (const RemovalGroup& g : plan.removals) {
+      EXPECT_FALSE(g.gate_flips.empty());
+      for (NodeId n : g.remove_nodes) {
+        EXPECT_TRUE(old_set.count(n));
+        EXPECT_FALSE(new_set.count(n));
+        ++removes;
+      }
+      for (int f : g.gate_flips) {
+        ASSERT_GE(f, 0);
+        ASSERT_LT(f, static_cast<int>(plan.segments.size()));
+      }
+    }
+    std::size_t expected_removes = 0;
+    for (NodeId n : old_path)
+      if (!new_set.count(n)) ++expected_removes;
+    EXPECT_EQ(removes, expected_removes);
+  }
+}
+
+}  // namespace
+}  // namespace hermes::net

@@ -15,14 +15,17 @@ The comparison has two scopes:
     on the same machine can.
   * results[]  -- per-row numeric fields. Rows are matched by their string
     label fields plus occurrence index (benches may repeat the same label
-    set, e.g. one row per backend). Compared always; gated only with
-    --gate all (useful for same-machine A/B runs).
+    set, e.g. one row per backend). VALUE changes gate only with --gate all
+    (useful for same-machine A/B runs), but STRUCTURAL breakage -- a
+    baseline row or row field missing from the candidate, or numeric in the
+    baseline and non-numeric in the candidate -- always gates: a bench that
+    silently stopped emitting a row is broken regardless of machine noise.
 
 Direction is inferred from the metric name: keys containing speedup /
 improvement / throughput / per_s / rate are higher-is-better; everything
 else is lower-is-better. A numeric baseline metric that is missing from the
 candidate, or non-numeric there (e.g. a NaN serialized as null), is a
-gating failure (it catches silently renamed or broken keys).
+gating failure in every scope (it catches silently renamed or broken keys).
 
 Exit codes: 0 ok, 1 regression (or missing gated metric), 2 usage/load
 error.
@@ -90,16 +93,22 @@ class Comparison:
         self.lines = []
         self.gating_failures = []
 
-    def compare_metric(self, scope, name, base, cand, gated):
+    def compare_metric(self, scope, name, base, cand, gated,
+                       structural_gated=None):
+        """Compares one metric. `gated` controls whether a VALUE regression
+        fails the gate; `structural_gated` (defaults to `gated`) controls
+        whether the metric turning non-numeric does -- structural breakage
+        gates even in scopes whose values are too machine-dependent to."""
+        if structural_gated is None:
+            structural_gated = gated
         if not isinstance(base, (int, float)):
             return
         if not isinstance(cand, (int, float)):
             # A numeric baseline metric that turned non-numeric (e.g. a NaN
-            # serialized as null by report.h) is as broken as a missing key:
-            # surface it, and fail the gate in gated scopes.
+            # serialized as null by report.h) is as broken as a missing key.
             self.lines.append(
                 f"!! {scope} {name}: non-numeric in candidate ({cand!r})")
-            if gated:
+            if structural_gated:
                 self.gating_failures.append(
                     f"{scope} {name}: baseline {base:.6g}, non-numeric in "
                     f"candidate ({cand!r})")
@@ -178,16 +187,19 @@ def main():
             label += f"#{occurrence}"
         match = cand_rows.get((key, occurrence))
         if match is None:
-            cmp.missing(f"row[{label}]", "*", gated=gate_rows)
+            # Structural: the candidate stopped emitting a whole row.
+            cmp.missing(f"row[{label}]", "*", gated=True)
             continue
         for field, value in row.items():
             if isinstance(value, str):
                 continue
             if field not in match:
-                cmp.missing(f"row[{label}]", field, gated=gate_rows)
+                # Structural: the candidate stopped emitting this field.
+                cmp.missing(f"row[{label}]", field, gated=True)
             else:
                 cmp.compare_metric(f"row[{label}]", field, value,
-                                   match[field], gated=gate_rows)
+                                   match[field], gated=gate_rows,
+                                   structural_gated=True)
     for (key, occurrence) in cand_rows:
         if (key, occurrence) not in base_rows:
             label = "/".join(v for _, v in key) or "(unlabeled)"
