@@ -6,16 +6,20 @@
 // rule that is still software-resident take the slow software path —
 // which is why Hermes "explores an alternate point in the design space"
 // (Section 9).
+//
+// Since the cache refactor the software-over-TCAM seam lives in
+// cache::CacheHierarchy (write-back mode IS the ShadowSwitch flush
+// semantic); this backend is a thin adapter that keeps the historical
+// interface and RIT accounting.
 #pragma once
 
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "baselines/switch_backend.h"
+#include "cache/cache_hierarchy.h"
 #include "tcam/asic.h"
-#include "tcam/lookup_engine.h"
 
 namespace hermes::baselines {
 
@@ -29,10 +33,14 @@ class ShadowSwitchBackend final : public SwitchBackend {
                       Duration flush_period = from_millis(20));
 
   Time handle(Time now, const net::FlowMod& mod) override;
-  void tick(Time now) override;
+  void tick(Time now) override { hierarchy_.tick(now); }
   using SwitchBackend::lookup;
-  std::optional<net::Rule> lookup(net::Ipv4Address addr) override;
-  const net::Rule* lookup_ptr(Time now, net::Ipv4Address addr) override;
+  std::optional<net::Rule> lookup(net::Ipv4Address addr) override {
+    return hierarchy_.lookup(addr);
+  }
+  const net::Rule* lookup_ptr(Time now, net::Ipv4Address addr) override {
+    return hierarchy_.lookup_ptr(now, addr);
+  }
   std::string_view name() const override { return "ShadowSwitch"; }
   const std::vector<Duration>& rit_samples() const override {
     return rit_samples_;
@@ -42,41 +50,25 @@ class ShadowSwitchBackend final : public SwitchBackend {
   /// speed regardless, and un-flushed rules simply stay software-resident
   /// until a later flush succeeds (natural retry).
   void set_fault_plan(fault::FaultPlan* plan) override {
-    asic_.set_fault_plan(plan);
+    hierarchy_.set_fault_plan(plan);
   }
 
   /// Rules currently only in software (slow data path).
-  int software_resident() const {
-    return static_cast<int>(software_.size());
-  }
-  int tcam_occupancy() const { return asic_.slice(0).occupancy(); }
-  tcam::Asic& asic() { return asic_; }
+  int software_resident() const { return hierarchy_.software_resident(); }
+  int tcam_occupancy() const { return hierarchy_.tcam_occupancy(); }
+  tcam::Asic& asic() { return hierarchy_.asic(); }
   /// Per-op TCAM bookkeeping counters (Fig 15-style overhead accounting).
   const tcam::TableStats& table_stats() const {
-    return asic_.slice(0).stats();
+    return hierarchy_.table_stats();
   }
+  cache::CacheHierarchy& hierarchy() { return hierarchy_; }
 
   /// Forces the background flush (end-of-run drain).
-  Time flush(Time now);
+  Time flush(Time now) { return hierarchy_.flush(now); }
 
  private:
-  /// Removes `id` from the software table AND its lookup engine.
-  /// Returns true if it was software-resident.
-  bool software_erase(net::RuleId id);
-  /// Installs `rule` in the software table AND its lookup engine,
-  /// replacing any software-resident rule with the same id.
-  void software_install(const net::Rule& rule);
-
-  tcam::Asic asic_;
+  cache::CacheHierarchy hierarchy_;
   Duration software_insert_;
-  Duration flush_period_;
-  Time next_flush_ = 0;
-  std::unordered_map<net::RuleId, net::Rule> software_;
-  /// Classification index over `software_`: replaces the per-packet
-  /// linear map scan on the slow path. Priority ties resolve to earliest
-  /// software arrival (deterministic, unlike map iteration order).
-  tcam::LookupEngine sw_engine_;
-  std::uint64_t sw_seq_ = 0;
   std::vector<Duration> rit_samples_;
 };
 

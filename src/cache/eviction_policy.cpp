@@ -1,0 +1,272 @@
+#include "cache/eviction_policy.h"
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace hermes::cache {
+
+std::string_view policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru: return "LRU";
+    case PolicyKind::kLfu: return "LFU";
+    case PolicyKind::kFdrc: return "FDRC";
+  }
+  return "?";
+}
+
+namespace {
+
+// --- LRU ---------------------------------------------------------------------
+// Classic recency list over the CACHED set only: a TCAM hit refreshes the
+// rule, every miss is worth promoting, and the victim is the stalest
+// cached rule. Software-side feedback (on_miss) carries no state.
+class LruPolicy final : public EvictionPolicy {
+ public:
+  std::string_view name() const override { return "LRU"; }
+
+  void on_admit(net::RuleId id) override {
+    order_.push_front(id);
+    pos_[id] = order_.begin();
+  }
+  void on_evict(net::RuleId id) override { drop(id); }
+  void on_remove(net::RuleId id) override { drop(id); }
+
+  void on_hit(net::RuleId id) override {
+    auto it = pos_.find(id);
+    if (it == pos_.end()) return;
+    order_.splice(order_.begin(), order_, it->second);
+  }
+  void on_miss(net::RuleId) override {}
+
+  bool should_promote(net::RuleId) override { return true; }
+
+  net::RuleId victim(
+      const std::unordered_set<net::RuleId>& pinned) override {
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it)
+      if (pinned.count(*it) == 0) return *it;
+    return net::kInvalidRuleId;
+  }
+
+ private:
+  void drop(net::RuleId id) {
+    auto it = pos_.find(id);
+    if (it == pos_.end()) return;
+    order_.erase(it->second);
+    pos_.erase(it);
+  }
+
+  std::list<net::RuleId> order_;  ///< front = most recently used
+  std::unordered_map<net::RuleId, std::list<net::RuleId>::iterator> pos_;
+};
+
+// --- LFU ---------------------------------------------------------------------
+// Frequency counts over EVERY rule that ever matched (hits and misses
+// both count), with the cached set bucketed by count for O(1) min-victim
+// selection. Promotes on every miss; the victim is the least-frequent
+// cached rule, oldest-admitted first — so a freshly promoted one-hit
+// wonder is the next to go, which is precisely the churn FDRC's
+// admission filter avoids.
+class LfuPolicy final : public EvictionPolicy {
+ public:
+  std::string_view name() const override { return "LFU"; }
+
+  void on_admit(net::RuleId id) override {
+    const std::uint64_t f = freq_[id];
+    auto& bucket = buckets_[f];
+    bucket.push_back(id);
+    cached_[id] = {f, std::prev(bucket.end())};
+  }
+  void on_evict(net::RuleId id) override { drop_cached(id); }
+  void on_remove(net::RuleId id) override {
+    drop_cached(id);
+    freq_.erase(id);
+  }
+
+  void on_hit(net::RuleId id) override { bump(id); }
+  void on_miss(net::RuleId id) override { bump(id); }
+
+  bool should_promote(net::RuleId) override { return true; }
+
+  net::RuleId victim(
+      const std::unordered_set<net::RuleId>& pinned) override {
+    for (const auto& [f, bucket] : buckets_)
+      for (net::RuleId id : bucket)
+        if (pinned.count(id) == 0) return id;
+    return net::kInvalidRuleId;
+  }
+
+ private:
+  struct CachedPos {
+    std::uint64_t freq;
+    std::list<net::RuleId>::iterator it;
+  };
+
+  void bump(net::RuleId id) {
+    const std::uint64_t f = ++freq_[id];
+    auto it = cached_.find(id);
+    if (it == cached_.end()) return;
+    unlink(it->second);
+    auto& bucket = buckets_[f];
+    bucket.push_back(id);
+    it->second = {f, std::prev(bucket.end())};
+  }
+
+  void drop_cached(net::RuleId id) {
+    auto it = cached_.find(id);
+    if (it == cached_.end()) return;
+    unlink(it->second);
+    cached_.erase(it);
+  }
+
+  void unlink(const CachedPos& pos) {
+    auto bit = buckets_.find(pos.freq);
+    bit->second.erase(pos.it);
+    if (bit->second.empty()) buckets_.erase(bit);
+  }
+
+  std::unordered_map<net::RuleId, std::uint64_t> freq_;
+  std::unordered_map<net::RuleId, CachedPos> cached_;
+  /// count -> cached rules at that count, admission order (oldest first).
+  std::map<std::uint64_t, std::list<net::RuleId>> buckets_;
+};
+
+// --- FDRC --------------------------------------------------------------------
+// The flow-driven policy: per-rule hit counters aged by epoch (lazy
+// decay: a counter read `k` epochs stale is worth count >> k), a
+// TinyLFU-style admission filter (a miss only earns promotion once the
+// rule's AGED count clears a threshold — one-hit wonders never enter the
+// TCAM), and sampled eviction (probe a fixed number of cached rules with
+// a deterministic xorshift, demote the one with the lowest aged score).
+// Aging makes the frequency signal recency-weighted, so the policy
+// tracks popularity drift where pure LFU fossilizes.
+class FdrcPolicy final : public EvictionPolicy {
+ public:
+  explicit FdrcPolicy(int capacity_hint)
+      : aging_period_(std::max<std::uint64_t>(
+            1024, 16 * static_cast<std::uint64_t>(
+                           std::max(capacity_hint, 1)))) {}
+
+  std::string_view name() const override { return "FDRC"; }
+
+  void on_admit(net::RuleId id) override {
+    if (cached_pos_.count(id)) return;
+    cached_pos_[id] = cached_.size();
+    cached_.push_back(id);
+  }
+  void on_evict(net::RuleId id) override { drop_cached(id); }
+  void on_remove(net::RuleId id) override {
+    drop_cached(id);
+    counts_.erase(id);
+  }
+
+  void on_hit(net::RuleId id) override { record(id); }
+  void on_miss(net::RuleId id) override { record(id); }
+
+  bool should_promote(net::RuleId id) override {
+    return score(id) >= kPromoteThreshold;
+  }
+
+  net::RuleId victim(
+      const std::unordered_set<net::RuleId>& pinned) override {
+    if (cached_.empty()) return net::kInvalidRuleId;
+    net::RuleId best = net::kInvalidRuleId;
+    std::uint64_t best_score = 0;
+    int probes = 0;
+    // Sample kSamples unpinned candidates (bounded draws so a heavily
+    // pinned cache cannot spin); fall back to a full scan if the draws
+    // found nothing.
+    for (int draw = 0; draw < 4 * kSamples && probes < kSamples; ++draw) {
+      const net::RuleId id = cached_[next_random() % cached_.size()];
+      if (pinned.count(id)) continue;
+      consider(id, best, best_score);
+      ++probes;
+    }
+    if (best == net::kInvalidRuleId) {
+      for (net::RuleId id : cached_) {
+        if (pinned.count(id)) continue;
+        consider(id, best, best_score);
+      }
+    }
+    return best;
+  }
+
+ private:
+  static constexpr std::uint64_t kPromoteThreshold = 2;
+  static constexpr int kSamples = 8;
+
+  struct Aged {
+    std::uint64_t count = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  void record(net::RuleId id) {
+    if (++events_ % aging_period_ == 0) ++epoch_;
+    Aged& a = counts_[id];
+    a.count = decayed(a) + 1;
+    a.epoch = epoch_;
+  }
+
+  std::uint64_t score(net::RuleId id) const {
+    auto it = counts_.find(id);
+    return it == counts_.end() ? 0 : decayed(it->second);
+  }
+
+  std::uint64_t decayed(const Aged& a) const {
+    const std::uint64_t stale = epoch_ - a.epoch;
+    return stale >= 64 ? 0 : a.count >> stale;
+  }
+
+  void consider(net::RuleId id, net::RuleId& best,
+                std::uint64_t& best_score) const {
+    const std::uint64_t s = score(id);
+    if (best == net::kInvalidRuleId || s < best_score ||
+        (s == best_score && id < best)) {
+      best = id;
+      best_score = s;
+    }
+  }
+
+  void drop_cached(net::RuleId id) {
+    auto it = cached_pos_.find(id);
+    if (it == cached_pos_.end()) return;
+    const std::size_t pos = it->second;
+    cached_[pos] = cached_.back();
+    cached_pos_[cached_[pos]] = pos;
+    cached_.pop_back();
+    cached_pos_.erase(it);
+  }
+
+  std::uint64_t next_random() {
+    // xorshift64*, fixed seed: eviction sampling is deterministic.
+    rng_ ^= rng_ >> 12;
+    rng_ ^= rng_ << 25;
+    rng_ ^= rng_ >> 27;
+    return rng_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  std::uint64_t aging_period_;
+  std::uint64_t events_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t rng_ = 0x9E3779B97F4A7C15ull;
+  std::unordered_map<net::RuleId, Aged> counts_;
+  std::vector<net::RuleId> cached_;  ///< dense, for O(1) sampling
+  std::unordered_map<net::RuleId, std::size_t> cached_pos_;
+};
+
+}  // namespace
+
+std::unique_ptr<EvictionPolicy> make_policy(PolicyKind kind,
+                                            int capacity_hint) {
+  switch (kind) {
+    case PolicyKind::kLru: return std::make_unique<LruPolicy>();
+    case PolicyKind::kLfu: return std::make_unique<LfuPolicy>();
+    case PolicyKind::kFdrc:
+      return std::make_unique<FdrcPolicy>(capacity_hint);
+  }
+  return nullptr;
+}
+
+}  // namespace hermes::cache

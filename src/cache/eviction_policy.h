@@ -1,0 +1,65 @@
+// Pluggable eviction/admission policies for the rule-cache hierarchy.
+//
+// The hierarchy (cache_hierarchy.h) keeps a bounded TCAM tier over an
+// unbounded software tier and asks the policy three questions:
+//
+//   * should_promote(id)  — a software-resident rule just matched a
+//     packet on the miss path; is it worth a TCAM slot? (the admission
+//     filter; LRU/LFU say yes to every miss, FDRC requires the rule's
+//     aged popularity to clear a threshold first)
+//   * victim(pinned)      — the TCAM is full; which cached rule goes?
+//   * on_hit / on_miss    — data-plane feedback that drives both answers.
+//
+// Policies see rule IDENTITY only (net::RuleId); dependency closures,
+// priorities, and the TCAM itself stay the hierarchy's business. All
+// three implementations are deterministic: FDRC's sampled eviction draws
+// from a fixed-seed xorshift, so identical op streams give identical
+// cache contents on every run (the bench gates on that).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_set>
+
+#include "net/rule.h"
+
+namespace hermes::cache {
+
+enum class PolicyKind : std::uint8_t { kLru, kLfu, kFdrc };
+
+std::string_view policy_name(PolicyKind kind);
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Residency transitions, driven by the hierarchy.
+  virtual void on_admit(net::RuleId id) = 0;   ///< rule entered the TCAM tier
+  virtual void on_evict(net::RuleId id) = 0;   ///< rule demoted to software
+  virtual void on_remove(net::RuleId id) = 0;  ///< rule deleted entirely
+
+  /// Data-plane feedback: a packet matched `id` in the TCAM (hit) or in
+  /// the software tier (miss).
+  virtual void on_hit(net::RuleId id) = 0;
+  virtual void on_miss(net::RuleId id) = 0;
+
+  /// Admission filter: should the hierarchy try to promote this
+  /// software-resident rule now?
+  virtual bool should_promote(net::RuleId id) = 0;
+
+  /// Picks a cached rule to demote, skipping ids in `pinned` (the
+  /// promotion closure in flight plus rules whose demotion cascade was
+  /// deemed too expensive this round). Returns net::kInvalidRuleId when
+  /// every candidate is pinned.
+  virtual net::RuleId victim(
+      const std::unordered_set<net::RuleId>& pinned) = 0;
+};
+
+/// `capacity_hint` sizes FDRC's aging window (ignored by LRU/LFU).
+std::unique_ptr<EvictionPolicy> make_policy(PolicyKind kind,
+                                            int capacity_hint);
+
+}  // namespace hermes::cache

@@ -26,6 +26,7 @@
 
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "hermes/config.h"
@@ -40,6 +41,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tcam/asic.h"
+#include "tcam/lookup_engine.h"
 
 namespace hermes::core {
 
@@ -82,6 +84,10 @@ struct AgentStats {
   std::uint64_t reconcile_rules_reinstalled = 0;
   std::uint64_t reconcile_pieces_reinstalled = 0;
   std::uint64_t reconcile_rules_lost = 0; ///< dropped after retry exhaustion
+
+  // Software spill tier (zero unless HermesConfig::software_spill).
+  std::uint64_t spills = 0;        ///< main-table overflows parked in software
+  std::uint64_t spill_drains = 0;  ///< spilled rules promoted back into main
 };
 
 class HermesAgent {
@@ -143,6 +149,12 @@ class HermesAgent {
   /// Max guaranteed insertion rate, Equation 2.
   double admitted_rate() const { return admitted_rate_; }
 
+  /// Rules currently parked in the software spill tier (slow data path);
+  /// 0 unless `HermesConfig::software_spill` is on.
+  int spill_resident() const {
+    return static_cast<int>(spill_rules_.size());
+  }
+
   /// Thin view over the registry counters (rebuilt per call; take a copy
   /// if you need a frozen reading).
   const AgentStats& stats() const;
@@ -199,6 +211,19 @@ class HermesAgent {
   /// after the original submission instant.
   Time insert_to_main(Time now, const net::Rule& rule, bool count_violation,
                       Time arrival = -1);
+
+  // --- Software spill tier (HermesConfig::software_spill) ------------------
+  /// Parks a rule the main table rejected in the agent-software tier.
+  Time spill_rule(Time now, const net::Rule& rule, Time arrival);
+  /// Removes a spilled rule's software state (store untouched).
+  void spill_forget(net::RuleId id);
+  /// Promotes spilled rules into the main table while capacity lasts,
+  /// highest priority first (ties by spill arrival order).
+  void drain_spill(Time now);
+  /// Merges the ASIC answer with the spill tier (hardware wins priority
+  /// ties); no-op pass-through while the spill tier is empty.
+  const net::Rule* merge_spill_lookup(const net::Rule* hw,
+                                      net::Ipv4Address addr);
 
   // --- Fault recovery (active only when the Asic has a fault plan) ---------
   /// One insert pushed through capped exponential backoff. Without a
@@ -288,6 +313,15 @@ class HermesAgent {
     obs::Counter reconcile_rules_reinstalled;
     obs::Counter reconcile_pieces_reinstalled;
     obs::Counter reconcile_rules_lost;
+    obs::Counter spills;
+    obs::Counter spill_drains;
+  };
+
+  /// One rule parked in the software spill tier; `seq` preserves arrival
+  /// order for the drain tie-break.
+  struct SpillEntry {
+    net::Rule rule;
+    std::uint64_t seq = 0;
   };
 
   HermesConfig config_;
@@ -310,6 +344,12 @@ class HermesAgent {
   Time migration_retry_at_ = -1;
   Duration migration_retry_backoff_ = 0;
   int seen_reset_epoch_ = 0;
+
+  // Software spill tier (empty unless HermesConfig::software_spill): rules
+  // the main table could not take, matched on the slow path until drained.
+  std::unordered_map<net::RuleId, SpillEntry> spill_rules_;
+  tcam::LookupEngine spill_engine_;
+  std::uint64_t spill_seq_ = 0;
   Metrics m_;
   mutable AgentStats stats_view_;
   std::vector<Duration> rit_samples_;
@@ -339,6 +379,9 @@ class HermesAgent {
       obs::attached_counter("reconcile.pieces_reinstalled");
   obs::Counter obs_reconcile_lost_ =
       obs::attached_counter("reconcile.rules_lost");
+  obs::Counter obs_spills_ = obs::attached_counter("cache.spills");
+  obs::Counter obs_spill_drains_ = obs::attached_counter("cache.spill_drains");
+  obs::Gauge obs_spill_resident_ = obs::attached_gauge("cache.spill_resident");
 };
 
 }  // namespace hermes::core

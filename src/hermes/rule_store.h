@@ -21,7 +21,10 @@
 namespace hermes::core {
 
 /// Which physical table a logical rule's pieces currently live in.
-enum class Placement : std::uint8_t { kShadow, kMain };
+/// kSoftware is the agent's spill tier (HermesConfig::software_spill):
+/// the rule is held in agent software — no TCAM entry — until main-table
+/// capacity frees up.
+enum class Placement : std::uint8_t { kShadow, kMain, kSoftware };
 
 struct LogicalRule {
   net::Rule original;  ///< the rule as the controller issued it

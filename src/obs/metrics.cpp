@@ -397,6 +397,8 @@ std::string_view kind_name(EventKind kind) {
       return "reconcile";
     case EventKind::kUpdatePhase:
       return "update_phase";
+    case EventKind::kCacheOp:
+      return "cache_op";
   }
   return "unknown";
 }

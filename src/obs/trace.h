@@ -28,6 +28,7 @@ enum class EventKind : std::uint8_t {
   kRetry,            ///< a failed write was re-submitted after backoff
   kReconcile,        ///< post-reset RuleStore-vs-ASIC reconciliation pass
   kUpdatePhase,      ///< a network-wide update transaction changed phase
+  kCacheOp,          ///< rule-cache hierarchy promotion/demotion/spill
 };
 
 std::string_view kind_name(EventKind kind);
@@ -171,6 +172,27 @@ inline TraceEvent update_phase_event(TimeNs t, std::uint8_t phase,
   e.b = b;
   e.time = t;
   e.latency_ns = static_cast<std::int64_t>(txn);
+  return e;
+}
+
+/// Values of cache_op_event's `op` (the `arg` field).
+inline constexpr std::uint8_t kCachePromote = 0;
+inline constexpr std::uint8_t kCacheDemote = 1;
+inline constexpr std::uint8_t kCacheSpill = 2;
+inline constexpr std::uint8_t kCacheSpillDrain = 3;
+
+/// One rule-cache hierarchy operation: a promotion round installed
+/// `rules` TCAM entries (b = rules pinned so far), a demotion cascade
+/// removed `rules` entries, or a main-table overflow spilled `rules`
+/// rules to the software tier.
+inline TraceEvent cache_op_event(TimeNs t, std::uint8_t op, int rules,
+                                 int aux) {
+  TraceEvent e;
+  e.kind = EventKind::kCacheOp;
+  e.arg = op;
+  e.a = static_cast<std::uint32_t>(rules);
+  e.b = static_cast<std::uint32_t>(aux);
+  e.time = t;
   return e;
 }
 

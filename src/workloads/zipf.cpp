@@ -1,0 +1,149 @@
+#include "workloads/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hermes::workloads {
+
+namespace {
+
+// xorshift64*: tiny, fast, and plenty for workload synthesis.
+inline std::uint64_t next_state(std::uint64_t& s) {
+  s ^= s >> 12;
+  s ^= s << 25;
+  s ^= s >> 27;
+  return s * 0x2545F4914F6CDD1Dull;
+}
+
+inline double to_unit(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i)
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+// Odd multiplier -> bijective over the low 24 bits, so every flow rank
+// maps to a distinct address inside the tenant /8.
+inline std::uint32_t scramble24(std::uint64_t rank) {
+  return static_cast<std::uint32_t>(rank * 2654435761u) & 0xFFFFFFu;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta,
+                             std::uint64_t seed)
+    : n_(n),
+      theta_(theta),
+      zetan_(zeta(n, theta)),
+      alpha_(1.0 / (1.0 - theta)),
+      eta_((1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta(2, theta) / zetan_)),
+      threshold_(1.0 + std::pow(0.5, theta)),
+      state_(seed ? seed : 0x9E3779B97F4A7C15ull) {
+  assert(n >= 2 && "Zipf needs at least two items");
+  assert(theta > 0 && theta < 1 && "YCSB sampler requires 0 < theta < 1");
+}
+
+double ZipfGenerator::uniform() { return to_unit(next_state(state_)); }
+
+std::uint64_t ZipfGenerator::next() {
+  // Gray/YCSB: invert the zipfian CDF with a two-term fast path for the
+  // head, the closed-form eta/alpha approximation for the tail.
+  double u = uniform();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < threshold_) return 1;
+  auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+net::Ipv4Address zipf_flow_address(const ZipfConfig& config, int tenant,
+                                   std::uint64_t rank) {
+  (void)config;
+  return net::Ipv4Address((static_cast<std::uint32_t>(tenant) << 24) |
+                          scramble24(rank));
+}
+
+std::vector<net::Rule> make_zipf_rules(const ZipfConfig& config) {
+  assert(config.tenants >= 1 && config.tenants <= 16);
+  assert(config.aggregates_per_tenant <= 16);
+  std::vector<net::Rule> rules;
+  rules.reserve(static_cast<std::size_t>(config.flows) +
+                static_cast<std::size_t>(config.tenants) *
+                    (1 + config.aggregates_per_tenant));
+
+  net::RuleId aux_id = kZipfAggregateIdBase;
+  for (int t = 0; t < config.tenants; ++t) {
+    // Tenant default route: t.0.0.0/8.
+    rules.push_back(net::Rule{
+        aux_id++, config.default_priority,
+        net::Prefix(net::Ipv4Address(static_cast<std::uint32_t>(t) << 24), 8),
+        net::forward_to(100 + t)});
+  }
+  for (int t = 0; t < config.tenants; ++t) {
+    // /12 aggregates tile the top of the tenant /8 (16 cover it fully).
+    for (int j = 0; j < config.aggregates_per_tenant; ++j) {
+      std::uint32_t base = (static_cast<std::uint32_t>(t) << 24) |
+                           (static_cast<std::uint32_t>(j) << 20);
+      rules.push_back(net::Rule{aux_id++, config.aggregate_priority,
+                                net::Prefix(net::Ipv4Address(base), 12),
+                                net::forward_to(200 + j)});
+    }
+  }
+
+  // Exact-match flow rules, ids 1..flows (0 is kInvalidRuleId), grouped
+  // by tenant; rank k of tenant t gets the scrambled address so the Zipf
+  // head is spread over the whole tenant space.
+  net::RuleId id = 1;
+  int per_tenant = config.flows / config.tenants;
+  for (int t = 0; t < config.tenants; ++t) {
+    int count = t == config.tenants - 1
+                    ? config.flows - per_tenant * (config.tenants - 1)
+                    : per_tenant;
+    for (int k = 0; k < count; ++k) {
+      rules.push_back(net::Rule{
+          id++, config.flow_priority,
+          net::Prefix(zipf_flow_address(config, t,
+                                        static_cast<std::uint64_t>(k)),
+                      32),
+          net::forward_to(t)});
+    }
+  }
+  return rules;
+}
+
+ZipfTraffic::ZipfTraffic(const ZipfConfig& config)
+    : config_(config),
+      zipf_(static_cast<std::uint64_t>(
+                std::max(2, config.flows / std::max(1, config.tenants))),
+            config.skew, config.seed * 0x9E3779B97F4A7C15ull + 1),
+      state_(config.seed ? config.seed : 1) {}
+
+net::Ipv4Address ZipfTraffic::next() {
+  ++draws_;
+  if (config_.rotate_period != 0 && draws_ % config_.rotate_period == 0)
+    shift_ += config_.rotate_step;
+  int tenant = next_tenant_;
+  next_tenant_ = (next_tenant_ + 1) % config_.tenants;
+  std::uint64_t r = next_state(state_);
+  if (to_unit(r) < config_.scan_fraction) {
+    // Scan packet: uniform inside the tenant /8 — usually no /32 match.
+    std::uint32_t low = static_cast<std::uint32_t>(next_state(state_)) &
+                        0xFFFFFFu;
+    return net::Ipv4Address((static_cast<std::uint32_t>(tenant) << 24) |
+                            low);
+  }
+  // The drift shift keeps ranks inside the installed per-tenant flow
+  // population, so rotated draws still hit real /32 rules.
+  std::uint64_t rank = (zipf_.next() + shift_) % zipf_.n();
+  return zipf_flow_address(config_, tenant, rank);
+}
+
+}  // namespace hermes::workloads

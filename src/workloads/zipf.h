@@ -1,0 +1,107 @@
+// Zipf multi-tenant flow-rule workload: the millions-of-flows regime the
+// rule-cache hierarchy (src/cache/) targets.
+//
+// The rule set models a multi-tenant switch: per tenant, one low-priority
+// /8 default route, a band of /12 traffic-engineering aggregates, and a
+// large population of exact-match /32 flow rules — far more than any TCAM
+// holds, which is the premise of flow-driven caching (the ShadowSwitch
+// seam generalized to an unbounded software tier). The traffic stream
+// draws flows Zipf-distributed (YCSB-style zeta sampling, constant time
+// per draw after an O(n) zeta precomputation), so a small popular head
+// dominates lookups while a long tail forces churn; a configurable
+// fraction of "scan" packets hits uniformly random addresses inside a
+// tenant's /8, exercising the aggregate and default tiers.
+//
+// Everything is deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/rule.h"
+
+namespace hermes::workloads {
+
+struct ZipfConfig {
+  /// Total /32 flow rules across all tenants (split evenly).
+  int flows = 1'000'000;
+  int tenants = 4;
+  /// Zipf skew (YCSB's theta); 0.99 is the YCSB default, ~0.7-1.0 is the
+  /// range measured for data-center flow popularity.
+  double skew = 0.99;
+  /// /12 traffic-engineering aggregates per tenant.
+  int aggregates_per_tenant = 16;
+  /// Fraction of traffic hitting uniform random addresses (misses the
+  /// flow-rule tier, lands on aggregates/defaults).
+  double scan_fraction = 0.02;
+  std::uint64_t seed = 1;
+
+  /// Popularity drift: every `rotate_period` draws (0 = static
+  /// popularity) the Zipf rank -> flow mapping shifts by `rotate_step`
+  /// ranks (mod the per-tenant flow count), so the hot head migrates to
+  /// a fresh flow population. Real flow popularity drifts; frequency
+  /// policies without aging fossilize on the old head.
+  std::uint64_t rotate_period = 0;
+  std::uint64_t rotate_step = 0;
+
+  int flow_priority = 8;
+  int aggregate_priority = 4;
+  int default_priority = 1;
+};
+
+/// Constant-time Zipf(n, theta) sampler over ranks [0, n), YCSB style:
+/// one O(n) zeta(n, theta) precomputation, then each draw costs two pow()
+/// calls. Rank 0 is the most popular item.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed);
+
+  /// Next Zipf-distributed rank in [0, n).
+  std::uint64_t next();
+
+  std::uint64_t n() const { return n_; }
+
+ private:
+  double uniform();  ///< next double in [0, 1)
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double threshold_;  ///< 1 + 0.5^theta, the two-item fast path bound
+  std::uint64_t state_;
+};
+
+/// The full multi-tenant rule set: flow rules (ids 1..flows), then
+/// aggregates and defaults (ids from kZipfAggregateIdBase), priority
+/// bands per ZipfConfig. Order: defaults, aggregates, then flows grouped
+/// by tenant — installing in order builds coarse-to-fine.
+inline constexpr net::RuleId kZipfAggregateIdBase = 1'000'000'000;
+std::vector<net::Rule> make_zipf_rules(const ZipfConfig& config);
+
+/// The /32 address of flow-rule rank `k` of `tenant` (the same mapping
+/// make_zipf_rules uses): tenant octet up top, a bijectively scrambled
+/// low-24 so popular flows are scattered across the tenant space.
+net::Ipv4Address zipf_flow_address(const ZipfConfig& config, int tenant,
+                                   std::uint64_t rank);
+
+/// Stateful traffic stream over the rule set: Zipf-popular flow packets
+/// with a scan_fraction of uniform noise, tenants drawn round-robin.
+class ZipfTraffic {
+ public:
+  explicit ZipfTraffic(const ZipfConfig& config);
+
+  /// Destination address of the next packet.
+  net::Ipv4Address next();
+
+ private:
+  ZipfConfig config_;
+  ZipfGenerator zipf_;
+  std::uint64_t state_;
+  int next_tenant_ = 0;
+  std::uint64_t draws_ = 0;
+  std::uint64_t shift_ = 0;  ///< accumulated rank rotation
+};
+
+}  // namespace hermes::workloads

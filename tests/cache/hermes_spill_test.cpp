@@ -1,0 +1,160 @@
+// HermesAgent's caching mode (HermesConfig::software_spill): main-table
+// overflow parks rules in an agent-software spill tier instead of
+// rejecting them, the data plane matches them on the slow path, and
+// tick() drains them back into the main TCAM as capacity frees.
+#include <gtest/gtest.h>
+
+#include "hermes/hermes_agent.h"
+#include "tcam/switch_model.h"
+
+namespace hermes::core {
+namespace {
+
+using net::FlowMod;
+using net::FlowModType;
+using net::Prefix;
+using net::Rule;
+
+Rule make_rule(net::RuleId id, int priority, std::string_view prefix,
+               int port = 1) {
+  return Rule{id, priority, *Prefix::parse(prefix), net::forward_to(port)};
+}
+
+HermesConfig spill_config() {
+  HermesConfig config;
+  config.guarantee = from_millis(5);
+  config.shadow_capacity = 2;
+  config.token_rate = 1e9;
+  config.token_burst = 1e9;
+  config.software_spill = true;
+  return config;
+}
+
+net::Ipv4Address addr_of(std::string_view text) {
+  return *net::Ipv4Address::parse(text);
+}
+
+/// Disjoint /32 at 10.0.0.id, priority 1 — with the lowest-priority
+/// optimization these append straight into main until it fills.
+Rule flow_rule(net::RuleId id) {
+  return Rule{id, 1,
+              Prefix(net::Ipv4Address(0x0A000000u |
+                                      static_cast<std::uint32_t>(id)),
+                     32),
+              net::forward_to(static_cast<int>(id))};
+}
+
+TEST(HermesSpill, OverflowSpillsInsteadOfRejecting) {
+  // Total 8, shadow 2 -> main 6. Twelve rules: 6 land in main, 2 take
+  // the shadow path, the remaining 4 overflow into the spill tier.
+  HermesAgent agent(tcam::pica8_p3290(), 8, spill_config());
+  for (net::RuleId id = 1; id <= 12; ++id)
+    agent.insert(from_millis(static_cast<Time>(id)), flow_rule(id));
+
+  EXPECT_EQ(agent.stats().failed_ops, 0u);
+  EXPECT_EQ(agent.stats().spills, 4u);
+  EXPECT_EQ(agent.spill_resident(), 4);
+  EXPECT_EQ(agent.store().size(), 12u);
+
+  // Every rule answers on the data plane, spilled ones included.
+  for (net::RuleId id = 1; id <= 12; ++id) {
+    auto hit = agent.lookup(
+        net::Ipv4Address(0x0A000000u | static_cast<std::uint32_t>(id)));
+    ASSERT_TRUE(hit.has_value()) << "rule " << id;
+    EXPECT_EQ(hit->id, id);
+  }
+}
+
+TEST(HermesSpill, WithoutSpillModeOverflowStillRejects) {
+  HermesConfig config = spill_config();
+  config.software_spill = false;
+  HermesAgent agent(tcam::pica8_p3290(), 8, config);
+  for (net::RuleId id = 1; id <= 12; ++id)
+    agent.insert(from_millis(static_cast<Time>(id)), flow_rule(id));
+  EXPECT_EQ(agent.stats().failed_ops, 4u);
+  EXPECT_EQ(agent.stats().spills, 0u);
+  EXPECT_EQ(agent.spill_resident(), 0);
+  EXPECT_EQ(agent.store().size(), 8u);
+}
+
+TEST(HermesSpill, TickDrainsSpillIntoFreedMainCapacity) {
+  HermesAgent agent(tcam::pica8_p3290(), 8, spill_config());
+  for (net::RuleId id = 1; id <= 12; ++id)
+    agent.insert(from_millis(static_cast<Time>(id)), flow_rule(id));
+  ASSERT_EQ(agent.spill_resident(), 4);
+
+  // Free two main slots, then tick: two spilled rules must drain.
+  agent.erase(from_millis(20), 1);
+  agent.erase(from_millis(20), 2);
+  agent.tick(from_millis(21));
+  EXPECT_EQ(agent.spill_resident(), 2);
+  EXPECT_EQ(agent.stats().spill_drains, 2u);
+
+  // Drained rules answer from the TCAM now and survived the move.
+  for (net::RuleId id = 3; id <= 12; ++id) {
+    auto hit = agent.lookup(
+        net::Ipv4Address(0x0A000000u | static_cast<std::uint32_t>(id)));
+    ASSERT_TRUE(hit.has_value()) << "rule " << id;
+    EXPECT_EQ(hit->id, id);
+  }
+}
+
+TEST(HermesSpill, DrainPrefersHighestPriority) {
+  HermesAgent agent(tcam::pica8_p3290(), 8, spill_config());
+  for (net::RuleId id = 1; id <= 8; ++id)
+    agent.insert(from_millis(static_cast<Time>(id)), flow_rule(id));
+  // Two more spills with distinct priorities (both overflow).
+  agent.insert(from_millis(9), make_rule(20, 3, "10.1.0.1/32", 3));
+  agent.insert(from_millis(10), make_rule(21, 7, "10.1.0.2/32", 7));
+  ASSERT_EQ(agent.spill_resident(), 2);
+
+  agent.erase(from_millis(20), 1);  // one free slot
+  agent.tick(from_millis(21));
+  EXPECT_EQ(agent.spill_resident(), 1);
+  // The priority-7 rule drained first; the priority-3 one is still soft.
+  const LogicalRule* hi = agent.store().find(21);
+  const LogicalRule* lo = agent.store().find(20);
+  ASSERT_NE(hi, nullptr);
+  ASSERT_NE(lo, nullptr);
+  EXPECT_EQ(hi->placement, Placement::kMain);
+  EXPECT_EQ(lo->placement, Placement::kSoftware);
+}
+
+TEST(HermesSpill, SpilledRuleWinsLookupByPriority) {
+  HermesAgent agent(tcam::pica8_p3290(), 8, spill_config());
+  for (net::RuleId id = 1; id <= 8; ++id)
+    agent.insert(from_millis(static_cast<Time>(id)), flow_rule(id));
+  // Spilled /16 outprioritizes the main-resident /32 it overlaps.
+  agent.insert(from_millis(9), make_rule(30, 9, "10.0.0.0/16", 30));
+  ASSERT_EQ(agent.spill_resident(), 1);
+  auto hit = agent.lookup(addr_of("10.0.0.3"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->id, 30u);
+  // Hardware still answers where the spilled rule does not match.
+  auto outside = agent.lookup(addr_of("10.1.0.3"));
+  EXPECT_FALSE(outside.has_value());
+}
+
+TEST(HermesSpill, EraseAndModifySpilledRules) {
+  HermesAgent agent(tcam::pica8_p3290(), 8, spill_config());
+  for (net::RuleId id = 1; id <= 10; ++id)
+    agent.insert(from_millis(static_cast<Time>(id)), flow_rule(id));
+  ASSERT_EQ(agent.spill_resident(), 2);
+
+  // Action-only modify stays in the spill tier.
+  agent.modify(from_millis(20),
+               Rule{9, 1, flow_rule(9).match, net::forward_to(99)});
+  auto hit = agent.lookup(addr_of("10.0.0.9"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action.port, 99);
+  EXPECT_EQ(agent.spill_resident(), 2);
+
+  // Erase removes the spilled rule outright.
+  agent.erase(from_millis(21), 10);
+  EXPECT_EQ(agent.spill_resident(), 1);
+  EXPECT_FALSE(agent.lookup(addr_of("10.0.0.10")).has_value());
+  EXPECT_EQ(agent.store().size(), 9u);
+}
+
+}  // namespace
+}  // namespace hermes::core

@@ -123,5 +123,92 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 2)
 
 
+class WriteBaselineTest(unittest.TestCase):
+    def run_write(self, cand_doc, base_doc=None):
+        """Run --write-baseline; returns (proc, written-doc-or-None)."""
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "base.json")
+            cand_path = os.path.join(tmp, "cand.json")
+            if base_doc is not None:
+                with open(base_path, "w", encoding="utf-8") as fh:
+                    json.dump(base_doc, fh)
+            with open(cand_path, "w", encoding="utf-8") as fh:
+                json.dump(cand_doc, fh)
+            proc = subprocess.run(
+                [sys.executable, TOOL, base_path, cand_path,
+                 "--write-baseline"],
+                capture_output=True, text=True)
+            written = None
+            if os.path.exists(base_path):
+                with open(base_path, "r", encoding="utf-8") as fh:
+                    written = json.load(fh)
+        return proc, written
+
+    def test_creates_missing_baseline(self):
+        cand = doc(derived={"hermes_speedup": 4.0},
+                   results=[{"case": "a", "ns": 10.0}])
+        proc, written = self.run_write(cand)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertEqual(written, cand)
+        self.assertIn("hermes_speedup", proc.stdout)
+
+    def test_overwrites_same_benchmark(self):
+        old = doc(derived={"hermes_speedup": 2.0})
+        new = doc(derived={"hermes_speedup": 4.0})
+        proc, written = self.run_write(new, base_doc=old)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertEqual(written["derived"]["hermes_speedup"], 4.0)
+
+    def test_written_baseline_round_trips_through_compare(self):
+        # The regenerated file must be a valid comparison baseline.
+        cand = doc(derived={"hermes_speedup": 4.0},
+                   results=[{"case": "a", "ns": 10.0}])
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "base.json")
+            cand_path = os.path.join(tmp, "cand.json")
+            with open(cand_path, "w", encoding="utf-8") as fh:
+                json.dump(cand, fh)
+            write = subprocess.run(
+                [sys.executable, TOOL, base_path, cand_path,
+                 "--write-baseline"], capture_output=True, text=True)
+            self.assertEqual(write.returncode, 0, write.stderr)
+            compare = subprocess.run(
+                [sys.executable, TOOL, base_path, cand_path],
+                capture_output=True, text=True)
+        self.assertEqual(compare.returncode, 0, compare.stderr)
+
+    def test_refuses_cross_benchmark_overwrite(self):
+        old = doc(derived={"hermes_speedup": 2.0})
+        new = dict(doc(derived={"hermes_speedup": 4.0}),
+                   benchmark="other_bench")
+        proc, written = self.run_write(new, base_doc=old)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("refusing", proc.stderr)
+        # The existing baseline is untouched.
+        self.assertEqual(written["benchmark"], "unit_test_bench")
+        self.assertEqual(written["derived"]["hermes_speedup"], 2.0)
+
+    def test_refuses_non_numeric_derived(self):
+        cand = doc(derived={"hermes_speedup": None})
+        proc, written = self.run_write(cand)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("non-numeric", proc.stderr)
+        self.assertIsNone(written)
+
+    def test_refuses_bad_schema(self):
+        cand = dict(doc(derived={"x": 1.0}), schema_version=2)
+        proc, written = self.run_write(cand)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIsNone(written)
+
+    def test_refuses_missing_benchmark_name(self):
+        cand = doc(derived={"x": 1.0})
+        del cand["benchmark"]
+        proc, written = self.run_write(cand)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("benchmark name", proc.stderr)
+        self.assertIsNone(written)
+
+
 if __name__ == "__main__":
     unittest.main()

@@ -1,0 +1,163 @@
+#include "workloads/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hermes::workloads {
+namespace {
+
+ZipfConfig small_config() {
+  ZipfConfig c;
+  c.flows = 10'000;
+  c.tenants = 4;
+  c.skew = 0.99;
+  c.seed = 7;
+  return c;
+}
+
+TEST(ZipfGenerator, RanksStayInRangeAndAreDeterministic) {
+  ZipfGenerator a(1000, 0.99, 42);
+  ZipfGenerator b(1000, 0.99, 42);
+  for (int i = 0; i < 10'000; ++i) {
+    std::uint64_t ra = a.next();
+    ASSERT_LT(ra, 1000u);
+    ASSERT_EQ(ra, b.next());
+  }
+}
+
+TEST(ZipfGenerator, HeadDominatesTail) {
+  ZipfGenerator gen(100'000, 0.99, 3);
+  std::unordered_map<std::uint64_t, int> counts;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[gen.next()];
+  // Rank 0 of a Zipf(0.99) over 100k items carries ~8% of the mass;
+  // loose bounds keep the test robust to sampler detail.
+  EXPECT_GT(counts[0], kDraws / 50);
+  // The top-100 ranks together must dominate a uniform draw's share.
+  int head = 0;
+  for (std::uint64_t r = 0; r < 100; ++r) head += counts[r];
+  EXPECT_GT(head, kDraws / 4);
+}
+
+TEST(ZipfRules, ShapeAndIdentity) {
+  ZipfConfig c = small_config();
+  std::vector<net::Rule> rules = make_zipf_rules(c);
+  ASSERT_EQ(rules.size(),
+            static_cast<std::size_t>(c.flows) +
+                static_cast<std::size_t>(c.tenants) *
+                    (1 + c.aggregates_per_tenant));
+
+  std::unordered_set<net::RuleId> ids;
+  std::set<net::Prefix> flow_matches;
+  int defaults = 0, aggregates = 0, flows = 0;
+  for (const net::Rule& r : rules) {
+    ASSERT_NE(r.id, net::kInvalidRuleId);
+    ASSERT_TRUE(ids.insert(r.id).second) << "duplicate id " << r.id;
+    if (r.match.length() == 8) {
+      ++defaults;
+      EXPECT_EQ(r.priority, c.default_priority);
+    } else if (r.match.length() == 12) {
+      ++aggregates;
+      EXPECT_EQ(r.priority, c.aggregate_priority);
+      EXPECT_GE(r.id, kZipfAggregateIdBase);
+    } else {
+      ASSERT_EQ(r.match.length(), 32);
+      ++flows;
+      EXPECT_EQ(r.priority, c.flow_priority);
+      EXPECT_LT(r.id, kZipfAggregateIdBase);
+      EXPECT_TRUE(flow_matches.insert(r.match).second)
+          << "duplicate flow address " << r.match.to_string();
+    }
+  }
+  EXPECT_EQ(defaults, c.tenants);
+  EXPECT_EQ(aggregates, c.tenants * c.aggregates_per_tenant);
+  EXPECT_EQ(flows, c.flows);
+}
+
+TEST(ZipfRules, AggregatesTileTheTenantSpace) {
+  ZipfConfig c = small_config();
+  std::vector<net::Rule> rules = make_zipf_rules(c);
+  for (const net::Rule& r : rules) {
+    if (r.match.length() != 12) continue;
+    int tenant = static_cast<int>(r.match.address().value() >> 24);
+    EXPECT_LT(tenant, c.tenants);
+  }
+  // Every flow address falls under its tenant's /8 (so it always has an
+  // aggregate and a default behind it).
+  for (const net::Rule& r : rules) {
+    if (r.match.length() != 32) continue;
+    int tenant = static_cast<int>(r.match.address().value() >> 24);
+    EXPECT_LT(tenant, c.tenants);
+  }
+}
+
+TEST(ZipfTraffic, DrawsAreDeterministicAndMostlyFlowHits) {
+  ZipfConfig c = small_config();
+  ZipfTraffic a(c);
+  ZipfTraffic b(c);
+  std::set<net::Prefix> flow_matches;
+  for (const net::Rule& r : make_zipf_rules(c))
+    if (r.match.length() == 32) flow_matches.insert(r.match);
+
+  int flow_hits = 0;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i) {
+    net::Ipv4Address addr = a.next();
+    ASSERT_EQ(addr, b.next());
+    int tenant = static_cast<int>(addr.value() >> 24);
+    ASSERT_LT(tenant, c.tenants);
+    if (flow_matches.count(net::Prefix(addr, 32))) ++flow_hits;
+  }
+  // scan_fraction is 2%; nearly everything else lands on a flow rule.
+  EXPECT_GT(flow_hits, kDraws * 90 / 100);
+  EXPECT_LT(flow_hits, kDraws);
+}
+
+TEST(ZipfTraffic, RotationShiftsTheHotHeadDeterministically) {
+  ZipfConfig base = small_config();
+  base.scan_fraction = 0.0;
+  ZipfConfig rotating = base;
+  rotating.rotate_period = 100;
+  rotating.rotate_step = 7;
+  ZipfTraffic still(base);
+  ZipfTraffic drift2(rotating);
+
+  // Identical until the first rotation boundary (the boundary draw
+  // itself — the 100th — already carries the shift)...
+  for (int i = 0; i < 99; ++i) ASSERT_EQ(still.next(), drift2.next());
+  // ...then the mapping shifts: the streams diverge but stay inside the
+  // tenant flow space (the shifted rank is still a valid flow rank).
+  int diverged = 0;
+  std::set<net::Prefix> flow_matches;
+  for (const net::Rule& r : make_zipf_rules(base))
+    if (r.match.length() == 32) flow_matches.insert(r.match);
+  for (int i = 0; i < 400; ++i) {
+    net::Ipv4Address a = still.next();
+    net::Ipv4Address b = drift2.next();
+    if (a != b) ++diverged;
+    ASSERT_TRUE(flow_matches.count(net::Prefix(b, 32)))
+        << "rotated draw left the installed flow set";
+  }
+  EXPECT_GT(diverged, 300);
+}
+
+TEST(ZipfTraffic, PopularityIsSkewedTowardTheHead) {
+  ZipfConfig c = small_config();
+  c.scan_fraction = 0.0;
+  ZipfTraffic traffic(c);
+  std::unordered_map<std::uint32_t, int> counts;
+  constexpr int kDraws = 40'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[traffic.next().value()];
+  // Rank 0 of each tenant: the four hottest addresses together must take
+  // a disproportionate share (uniform would be 4/10000 of the draws).
+  int head = 0;
+  for (int t = 0; t < c.tenants; ++t)
+    head += counts[zipf_flow_address(c, t, 0).value()];
+  EXPECT_GT(head, kDraws / 25);
+}
+
+}  // namespace
+}  // namespace hermes::workloads

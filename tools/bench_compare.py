@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE CANDIDATE [--threshold 0.25] [--gate derived|all]
+    bench_compare.py BASELINE CANDIDATE --write-baseline
 
 Both files must be schema_version-1 documents written by bench/report.h.
 The comparison has two scopes:
@@ -27,12 +28,21 @@ else is lower-is-better. A numeric baseline metric that is missing from the
 candidate, or non-numeric there (e.g. a NaN serialized as null), is a
 gating failure in every scope (it catches silently renamed or broken keys).
 
+With --write-baseline the tool regenerates BASELINE from CANDIDATE instead
+of comparing: CANDIDATE is schema-checked (schema_version 1, a benchmark
+name, every derived metric numeric — a NaN serialized as null would make
+the committed baseline silently ungateable), and when BASELINE already
+exists its benchmark name must match (refuses to clobber one bench's
+baseline with another's output). This is how bench/baselines/*.json are
+refreshed after an intentional performance change.
+
 Exit codes: 0 ok, 1 regression (or missing gated metric), 2 usage/load
 error.
 """
 
 import argparse
 import json
+import os
 import signal
 import sys
 
@@ -143,6 +153,37 @@ class Comparison:
         self.lines.append(f"  + {scope} {name}: new in candidate")
 
 
+def write_baseline(baseline_path, candidate_path):
+    """Regenerate a committed baseline from a fresh run, schema-checked."""
+    cand = load(candidate_path)
+    name = cand.get("benchmark")
+    if not isinstance(name, str) or not name:
+        usage_error(f"{candidate_path}: missing benchmark name")
+    derived = cand.get("derived", {}) or {}
+    for key, value in derived.items():
+        if not isinstance(value, (int, float)):
+            # A null here (report.h's NaN/inf serialization) would commit
+            # a baseline whose gate silently never compares that metric.
+            usage_error(f"{candidate_path}: derived metric {key!r} is "
+                        f"non-numeric ({value!r}); refusing to commit it "
+                        f"as a baseline")
+    if os.path.exists(baseline_path):
+        base = load(baseline_path)
+        if base.get("benchmark") != name:
+            usage_error(f"refusing to overwrite {baseline_path} "
+                        f"(benchmark {base.get('benchmark')!r}) with "
+                        f"{candidate_path} (benchmark {name!r})")
+    with open(baseline_path, "w", encoding="utf-8") as fh:
+        json.dump(cand, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {baseline_path} from {candidate_path} "
+          f"(benchmark {name}, {len(derived)} derived metric(s), "
+          f"{len(cand.get('results', []) or [])} row(s))")
+    for key in sorted(derived):
+        print(f"  derived {key}: {derived[key]:.6g}")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two BENCH json files; fail on >threshold "
@@ -156,7 +197,13 @@ def main():
                         default="derived",
                         help="which metrics gate: derived{} only (default, "
                              "machine-independent) or all row fields too")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="schema-check CANDIDATE and write it to "
+                             "BASELINE instead of comparing")
     args = parser.parse_args()
+
+    if args.write_baseline:
+        return write_baseline(args.baseline, args.candidate)
 
     base = load(args.baseline)
     cand = load(args.candidate)
