@@ -2,12 +2,15 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "net/rule.h"
 #include "net/time.h"
 
 namespace hermes::core {
+
+class MigrationPolicy;  // migration_policy.h
 
 /// Predicate selecting which rules receive the performance guarantee
 /// (the `match-predicate` argument of CreateTCAMQoS, Section 7).
@@ -59,6 +62,17 @@ struct HermesConfig {
   /// `simple_threshold` (fraction of shadow capacity) — the Hermes-SIMPLE
   /// baseline of Section 8.5. Negative = use the predictive trigger.
   double simple_threshold = -1.0;
+
+  /// Migration-policy seam (migration_policy.h), the decision sibling of
+  /// the predictor seam. `policy` names a built-in ("Threshold" is the
+  /// only name hermes_core resolves — the legacy trigger parameterized
+  /// by simple_threshold / migration_watermark); `policy_instance`, when
+  /// set, overrides the name with an externally-built policy (how the
+  /// learned src/policy/ policies plug in, and how one policy is shared
+  /// across training episodes). Mirrors the RulePredicate precedent of
+  /// holding behavior in config.
+  std::string policy = "Threshold";
+  std::shared_ptr<MigrationPolicy> policy_instance;
 
   // --- Ablation knobs (defaults = the full Hermes design) -----------------
 

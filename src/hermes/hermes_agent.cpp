@@ -76,6 +76,11 @@ HermesAgent::HermesAgent(const tcam::SwitchModel& model,
   assert(predictor && corrector && "unknown predictor/corrector name");
   estimator_ = std::make_unique<GrowthEstimator>(std::move(predictor),
                                                  std::move(corrector));
+
+  policy_ = make_migration_policy(config_);
+  assert(policy_ && "unknown migration policy name");
+  initial_shadow_capacity_ = shadow;
+  expand_step_ = std::max(1, shadow / 8);
 }
 
 int HermesAgent::derive_shadow_capacity(const tcam::SwitchModel& model,
@@ -168,6 +173,7 @@ void HermesAgent::note_guaranteed_latency(Duration latency) {
 void HermesAgent::note_retry(Time at, int slice, int attempt) {
   m_.retries.inc();
   obs_retries_.inc();
+  ++retries_this_epoch_;
   obs::trace_event(obs::retry_event(at, slice, attempt));
 }
 

@@ -31,6 +31,7 @@
 
 #include "hermes/config.h"
 #include "hermes/gate_keeper.h"
+#include "hermes/migration_policy.h"
 #include "hermes/overlap_index.h"
 #include "hermes/partition.h"
 #include "hermes/predictor.h"
@@ -123,6 +124,10 @@ class HermesAgent {
 
   /// Forces a migration immediately (used by tests and ablations).
   Time migrate_now(Time now);
+
+  /// The migration policy steering tick()'s epoch decisions (the seam
+  /// sibling of the predictor; resolved from config at construction).
+  const MigrationPolicy& migration_policy() const { return *policy_; }
 
   // --- Data plane ---------------------------------------------------------
   /// Timeless lookup: state as of the last channel activity. Copies.
@@ -268,6 +273,8 @@ class HermesAgent {
   void record_rit(Duration sojourn, Duration op_latency) {
     rit_samples_.push_back(sojourn);
     op_latency_samples_.push_back(op_latency);
+    epoch_rit_sum_ += sojourn;
+    ++epoch_rit_count_;
     obs_rit_.record(static_cast<std::uint64_t>(sojourn));
     obs_op_latency_.record(static_cast<std::uint64_t>(op_latency));
   }
@@ -275,8 +282,21 @@ class HermesAgent {
 
   // --- Rule Manager (rule_manager.cpp) -------------------------------------
   void close_epoch();
+  /// The legacy fixed trigger, kept verbatim as the reference
+  /// implementation the seam's default policy is property-tested
+  /// against (ThresholdMigrationPolicy::decide must agree with it on
+  /// every consulted epoch).
   bool migration_due() const;
-  Time run_migration(Time now);
+  /// Snapshot handed to the policy's decide() call.
+  PolicyState policy_state(Time now) const;
+  /// Executes one policy decision (counts it, traces it, and runs the
+  /// matching migration / re-carve).
+  void apply_policy_action(MigrationAction action, Time now);
+  /// Drains the shadow into main; `max_rules` >= 0 caps how many logical
+  /// rules move (highest priority first) — the migrate-small action.
+  /// Negative (the default, and the legacy trigger's behavior) drains
+  /// everything.
+  Time run_migration(Time now, int max_rules = -1);
   void unpartition_dependents(Time now, net::RuleId blocker_logical_id);
 
   // White-box seam for regression tests that need to stage table states
@@ -329,6 +349,7 @@ class HermesAgent {
   std::unique_ptr<obs::Registry> obs_;  // outlives gate_keeper_'s handles
   std::unique_ptr<GateKeeper> gate_keeper_;
   std::unique_ptr<GrowthEstimator> estimator_;
+  std::shared_ptr<MigrationPolicy> policy_;
   RuleStore store_;
   OverlapIndex main_index_;
   OverlapIndex shadow_index_;
@@ -337,6 +358,22 @@ class HermesAgent {
   net::RuleId piece_id_counter_;
   Time epoch_start_ = 0;
   double arrivals_this_epoch_ = 0;
+
+  // Policy-seam epoch accounting (rolled by close_epoch): the reward
+  // signal for learning policies and the fault-rate input of
+  // PolicyState. All deterministic in the replayed op sequence.
+  Duration epoch_rit_sum_ = 0;
+  std::uint64_t epoch_rit_count_ = 0;
+  std::uint64_t epoch_violation_mark_ = 0;
+  std::uint64_t retries_this_epoch_ = 0;
+  double fault_rate_ewma_ = 0;
+  PolicyFeedback last_epoch_feedback_;
+
+  // Expand-partition bounds: the shadow slice may grow (via
+  // Asic::transfer_capacity) to at most twice its carved size, in
+  // expand_step_ increments.
+  int initial_shadow_capacity_ = 0;
+  int expand_step_ = 0;
 
   // Fault recovery state: a partially-failed migration re-queues itself
   // with capped exponential backoff instead of waiting for the next
@@ -382,6 +419,19 @@ class HermesAgent {
   obs::Counter obs_spills_ = obs::attached_counter("cache.spills");
   obs::Counter obs_spill_drains_ = obs::attached_counter("cache.spill_drains");
   obs::Gauge obs_spill_resident_ = obs::attached_gauge("cache.spill_resident");
+
+  // Migration-policy decisions (the seam's own accounting, one decision
+  // per consulted epoch; see docs/METRICS.md "policy.*").
+  obs::Counter obs_policy_decisions_ =
+      obs::attached_counter("policy.decisions");
+  obs::Counter obs_policy_holds_ = obs::attached_counter("policy.holds");
+  obs::Counter obs_policy_migrate_small_ =
+      obs::attached_counter("policy.migrate_small");
+  obs::Counter obs_policy_migrate_large_ =
+      obs::attached_counter("policy.migrate_large");
+  obs::Counter obs_policy_expands_ = obs::attached_counter("policy.expands");
+  obs::Gauge obs_policy_shadow_capacity_ =
+      obs::attached_gauge("policy.shadow_capacity");
 };
 
 }  // namespace hermes::core

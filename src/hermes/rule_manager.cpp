@@ -17,18 +17,24 @@ void HermesAgent::tick(Time now) {
     run_migration(now);
   }
   if (config_.simple_threshold >= 0) {
-    // Hermes-SIMPLE: the occupancy threshold is checked on every tick —
-    // with a 0% threshold "migration is constantly happening in the
-    // background" (Section 8.5).
+    // Hermes-SIMPLE: the policy is consulted on every tick — with a 0%
+    // threshold "migration is constantly happening in the background"
+    // (Section 8.5).
     while (epoch_start_ + config_.epoch <= now)
       epoch_start_ += config_.epoch;  // keep the epoch clock moving
-    if (migration_due()) run_migration(now);
+    apply_policy_action(policy_->decide(policy_state(now)), now);
     return;
   }
   while (epoch_start_ + config_.epoch <= now) {
     close_epoch();
     epoch_start_ += config_.epoch;
-    if (migration_due()) run_migration(epoch_start_);
+    // Reward for the decision that governed the epoch just closed, then
+    // the decision for the next one. The default ThresholdMigrationPolicy
+    // ignores feedback and reproduces the legacy migration_due() trigger
+    // bit-for-bit.
+    policy_->feedback(last_epoch_feedback_);
+    apply_policy_action(policy_->decide(policy_state(epoch_start_)),
+                        epoch_start_);
   }
 }
 
@@ -42,6 +48,73 @@ void HermesAgent::close_epoch() {
       arrivals_this_epoch_));
   estimator_->observe(arrivals_this_epoch_);
   arrivals_this_epoch_ = 0;
+
+  // Roll the policy-seam epoch accounting: the reward signal for the
+  // epoch that just closed, and the fault-rate EWMA PolicyState carries.
+  last_epoch_feedback_.mean_insert_latency_us =
+      epoch_rit_count_ == 0
+          ? 0.0
+          : static_cast<double>(epoch_rit_sum_) /
+                (1e3 * static_cast<double>(epoch_rit_count_));
+  std::uint64_t violations = m_.violations.value();
+  last_epoch_feedback_.violations =
+      static_cast<double>(violations - epoch_violation_mark_);
+  epoch_violation_mark_ = violations;
+  epoch_rit_sum_ = 0;
+  epoch_rit_count_ = 0;
+  fault_rate_ewma_ =
+      0.5 * static_cast<double>(retries_this_epoch_) + 0.5 * fault_rate_ewma_;
+  retries_this_epoch_ = 0;
+}
+
+PolicyState HermesAgent::policy_state(Time now) const {
+  PolicyState state;
+  state.now = now;
+  state.shadow_occupancy = shadow_occupancy();
+  state.shadow_capacity = shadow_capacity();
+  state.predicted_next = estimator_->predicted_next();
+  std::span<const double> history = estimator_->history();
+  if (history.size() >= 2) {
+    state.arrival_trend =
+        history[history.size() - 1] - history[history.size() - 2];
+  } else if (history.size() == 1) {
+    state.arrival_trend = history[0];
+  }
+  state.recent_fault_rate = fault_rate_ewma_;
+  return state;
+}
+
+void HermesAgent::apply_policy_action(MigrationAction action, Time now) {
+  obs_policy_decisions_.inc();
+  obs::trace_event(obs::policy_decision_event(
+      now, static_cast<std::uint8_t>(action), shadow_occupancy(),
+      shadow_capacity()));
+  switch (action) {
+    case MigrationAction::kHold:
+      obs_policy_holds_.inc();
+      return;
+    case MigrationAction::kMigrateSmall:
+      obs_policy_migrate_small_.inc();
+      run_migration(now, std::max(1, shadow_occupancy() / 2));
+      return;
+    case MigrationAction::kMigrateLarge:
+      obs_policy_migrate_large_.inc();
+      run_migration(now);
+      return;
+    case MigrationAction::kExpandPartition:
+      obs_policy_expands_.inc();
+      // Maximum-headroom composite: re-carve one step of main capacity
+      // into the shadow (bounded at twice the carved size, and only out
+      // of slots the main slice isn't using) AND drain the shadow. The
+      // re-carve is a ratchet — once at the bound the action degrades to
+      // migrate-large.
+      if (shadow_capacity() + expand_step_ <= 2 * initial_shadow_capacity_ &&
+          asic_.transfer_capacity(kMain, kShadow, expand_step_)) {
+        obs_policy_shadow_capacity_.set(shadow_capacity());
+      }
+      run_migration(now);
+      return;
+  }
 }
 
 bool HermesAgent::migration_due() const {
@@ -66,7 +139,7 @@ bool HermesAgent::migration_due() const {
          config_.migration_watermark * static_cast<double>(capacity);
 }
 
-Time HermesAgent::run_migration(Time now) {
+Time HermesAgent::run_migration(Time now, int max_rules) {
   std::vector<net::RuleId> shadow_lids =
       store_.ids_with_placement(Placement::kShadow);
   if (shadow_lids.empty()) return now;
@@ -80,6 +153,11 @@ Time HermesAgent::run_migration(Time now) {
               return store_.find(a)->original.priority >
                      store_.find(b)->original.priority;
             });
+  // A partial migration (the migrate-small policy action) moves only the
+  // highest-priority prefix, keeping the control channel occupation — and
+  // hence the stall risk for guaranteed inserts — bounded per epoch.
+  if (max_rules >= 0 && static_cast<int>(shadow_lids.size()) > max_rules)
+    shadow_lids.resize(static_cast<std::size_t>(max_rules));
 
   // Step 1+2 (Figure 7): copy rules out and optimize. Each logical rule
   // is re-partitioned against the PRE-migration main table: co-migrating

@@ -399,6 +399,8 @@ std::string_view kind_name(EventKind kind) {
       return "update_phase";
     case EventKind::kCacheOp:
       return "cache_op";
+    case EventKind::kPolicyDecision:
+      return "policy_decision";
   }
   return "unknown";
 }

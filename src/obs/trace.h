@@ -29,6 +29,7 @@ enum class EventKind : std::uint8_t {
   kReconcile,        ///< post-reset RuleStore-vs-ASIC reconciliation pass
   kUpdatePhase,      ///< a network-wide update transaction changed phase
   kCacheOp,          ///< rule-cache hierarchy promotion/demotion/spill
+  kPolicyDecision,   ///< migration policy chose an epoch action
 };
 
 std::string_view kind_name(EventKind kind);
@@ -192,6 +193,21 @@ inline TraceEvent cache_op_event(TimeNs t, std::uint8_t op, int rules,
   e.arg = op;
   e.a = static_cast<std::uint32_t>(rules);
   e.b = static_cast<std::uint32_t>(aux);
+  e.time = t;
+  return e;
+}
+
+/// The migration policy chose `action` (core::MigrationAction's numeric
+/// value: 0 = hold, 1 = migrate-small, 2 = migrate-large, 3 =
+/// expand-partition) for the epoch starting at `t`, with the shadow
+/// slice at `occupancy` of `capacity` entries.
+inline TraceEvent policy_decision_event(TimeNs t, std::uint8_t action,
+                                        int occupancy, int capacity) {
+  TraceEvent e;
+  e.kind = EventKind::kPolicyDecision;
+  e.arg = action;
+  e.a = static_cast<std::uint32_t>(occupancy);
+  e.b = static_cast<std::uint32_t>(capacity);
   e.time = t;
   return e;
 }

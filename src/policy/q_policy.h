@@ -1,0 +1,170 @@
+// Tabular Q-learning migration policy (the learned alternative to the
+// EWMA-threshold trigger behind the MigrationPolicy seam).
+//
+// The policy sees the same PolicyState the threshold trigger does and
+// maps it onto a small discrete state space:
+//
+//   state = occupancy bin (0..occupancy_bins-1)
+//         x arrival-rate trend bin (falling / flat / rising)
+//         x recent-fault-rate bin  (none / some / high)
+//
+// Actions are the four MigrationAction values. The reward, delivered one
+// epoch later via feedback(), is
+//
+//   r = -(mean guaranteed-insert latency in us
+//         + violation_penalty_us * violations)
+//
+// so the policy learns to keep the shadow table drained *before* a burst
+// fills it (an occupied shadow slot makes the next guaranteed insert pay
+// shift costs, and a full shadow forces main-table fallbacks).
+//
+// Determinism contract: exploration uses a counter-based splitmix64
+// stream derived only from `seed` and the number of draws so far — no
+// wall clock, no global RNG state. Replaying the same decision/feedback
+// sequence with the same seed reproduces the Q-table and every action
+// bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <array>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "hermes/migration_policy.h"
+
+namespace hermes::policy {
+
+struct QPolicyConfig {
+  std::uint64_t seed = 1;  ///< exploration stream seed
+
+  /// TD step size. With sample_average_alpha (the default) the n-th
+  /// update of a (state, action) pair steps by max(1/n, alpha_floor) —
+  /// estimates converge instead of oscillating with the newest sample —
+  /// and `alpha` is only the first-visit step. Without it, every update
+  /// steps by `alpha`.
+  double alpha = 1.0;
+  bool sample_average_alpha = true;
+  double alpha_floor = 0.02;
+
+  double gamma = 0.85;  ///< discount factor
+
+  // Epsilon-greedy schedule: epsilon decays multiplicatively per decision
+  // until it reaches epsilon_min (the "exploration converged" point).
+  double epsilon0 = 0.25;
+  double epsilon_min = 0.01;
+  double epsilon_decay = 0.995;
+
+  /// Reward weight of one QoS violation, in microseconds of equivalent
+  /// guaranteed-insert latency.
+  double violation_penalty_us = 500.0;
+
+  /// Potential-based reward shaping (Ng/Harada/Russell): the TD reward
+  /// becomes  r + gamma * phi(s') - phi(s)  with the potential
+  /// phi(s) = -shaping_us * shadow occupancy fraction. Shaping never
+  /// changes which policy is optimal, but it credits draining the
+  /// shadow (and debits letting it fill) in the SAME step, instead of
+  /// epochs later when the overflow finally lands on the latency term —
+  /// without it, tabular estimates in calm states differ by less than
+  /// their sampling noise. 0 disables.
+  double shaping_us = 2000.0;
+
+  /// Optimistic prior on migrate-large: every state's migrate-large
+  /// entry starts at this small positive value while all other entries
+  /// start at 0, so a state never visited during training resolves to
+  /// draining the shadow (the safe default — it is what the threshold
+  /// trigger converges to under load) instead of holding. Rewards are
+  /// <= 0, so one real visit replaces the prior.
+  double migrate_large_prior = 1e-3;
+
+  int occupancy_bins = 8;
+  /// Trend magnitude (rules/epoch) below which the trend bins as "flat".
+  double trend_unit = 1.0;
+  /// Fault-rate EWMA at-or-above which the fault bins as "high".
+  double fault_high = 2.0;
+};
+
+/// Tabular Q policy. One instance may be shared across training episodes
+/// (call end_episode() between them so no TD update spans the boundary)
+/// and then frozen for measurement (greedy actions, no updates, no
+/// epsilon decay).
+class QPolicy final : public core::MigrationPolicy {
+ public:
+  static constexpr int kActions = 4;
+
+  explicit QPolicy(QPolicyConfig config = {});
+
+  core::MigrationAction decide(const core::PolicyState& state) override;
+  void feedback(const core::PolicyFeedback& fb) override;
+  std::string_view name() const override { return "Q"; }
+
+  /// Freezes (true) or unfreezes (false) learning: frozen decisions are
+  /// pure greedy argmax with no TD updates and no epsilon decay.
+  void set_frozen(bool frozen) { frozen_ = frozen; }
+  bool frozen() const { return frozen_; }
+
+  /// Safe-deployment guard (SPIBB-style): when a baseline policy is set,
+  /// decide() delegates to it verbatim and performs no learning — the
+  /// operator evaluates the frozen learned table offline against the
+  /// safe baseline and only deploys the table when it is at least as
+  /// good; otherwise the Q policy serves the baseline rule, so deploying
+  /// it can never regress the system it replaces. nullptr disables.
+  void set_baseline(std::shared_ptr<core::MigrationPolicy> baseline) {
+    baseline_ = std::move(baseline);
+  }
+  const core::MigrationPolicy* baseline() const { return baseline_.get(); }
+
+  /// Clears the pending (state, action, reward) so the next decision
+  /// starts a fresh trajectory — call between training episodes.
+  void end_episode();
+
+  /// True once the epsilon schedule has decayed to epsilon_min.
+  bool exploration_converged() const {
+    return epsilon_ <= config_.epsilon_min + 1e-12;
+  }
+  double epsilon() const { return epsilon_; }
+
+  /// Discrete state index for `state` (exposed for tests).
+  int encode(const core::PolicyState& state) const;
+  int state_count() const { return state_count_; }
+
+  /// Row-major [state][action] Q-value table view.
+  std::span<const double> table() const { return table_; }
+
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t updates() const { return updates_; }
+  /// Cumulative decide() outcomes by action index (diagnostics/tests).
+  const std::array<std::uint64_t, kActions>& action_counts() const {
+    return action_counts_;
+  }
+
+ private:
+  /// Uniform draw in [0, 1) from the counter-based stream.
+  double draw01();
+  int greedy_action(int state) const;
+
+  QPolicyConfig config_;
+  std::shared_ptr<core::MigrationPolicy> baseline_;
+  int state_count_;
+  std::vector<double> table_;  // state_count_ x kActions
+  std::vector<std::uint32_t> visits_;  // update counts, same layout
+
+  double epsilon_;
+  bool frozen_ = false;
+
+  // One-step TD bookkeeping: the (state, action) whose reward has not
+  // arrived yet, and the reward waiting for the next decide() to supply
+  // the successor state's max-Q bootstrap.
+  int prev_state_ = -1;
+  int prev_action_ = 0;
+  double prev_potential_ = 0.0;
+  bool has_reward_ = false;
+  double pending_reward_ = 0.0;
+
+  std::uint64_t draw_index_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t updates_ = 0;
+  std::array<std::uint64_t, kActions> action_counts_{};
+};
+
+}  // namespace hermes::policy

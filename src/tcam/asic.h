@@ -48,6 +48,21 @@ class Asic {
   int total_capacity() const;
   int total_occupancy() const;
 
+  /// Re-carves the TCAM at runtime: moves `entries` slots of capacity
+  /// from slice `from` to slice `to` (the expand-partition migration
+  /// action). Pure bookkeeping — resident rules do not move and the
+  /// total carving budget is conserved. Refuses (returns false, no
+  /// change) when `entries` is non-positive or slice `from` has fewer
+  /// than `entries` free slots.
+  bool transfer_capacity(int from, int to, int entries) {
+    if (entries <= 0 || from == to) return false;
+    TcamTable& donor = slice(from);
+    if (donor.capacity() - donor.occupancy() < entries) return false;
+    if (!donor.set_capacity(donor.capacity() - entries)) return false;
+    slice(to).set_capacity(slice(to).capacity() + entries);
+    return true;
+  }
+
   /// Executes one flow-mod against slice `slice_idx` and returns its
   /// mechanics + latency. A modify that changes priority is decomposed
   /// into delete + insert (Section 4.1, "Rule Modification"); if the

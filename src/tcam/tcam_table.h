@@ -61,6 +61,15 @@ class TcamTable {
   explicit TcamTable(int capacity);
 
   int capacity() const { return capacity_; }
+
+  /// Re-sizes the slice's entry budget (TCAM re-carving; the
+  /// expand-partition migration action rides on this). Refuses to shrink
+  /// below the current occupancy — resident entries are never dropped.
+  bool set_capacity(int capacity) {
+    if (capacity < occupancy()) return false;
+    capacity_ = capacity;
+    return true;
+  }
   int occupancy() const { return static_cast<int>(entries_.size()); }
   bool full() const { return occupancy() == capacity_; }
   bool empty() const { return entries_.empty(); }

@@ -1,0 +1,45 @@
+// Named control-plane scenarios for the cross-policy matrix harness
+// (bench/bench_matrix.cpp).
+//
+// Each scenario is a deterministic, seed-driven RuleTrace plus an
+// optional fault plan, packaged so one command can sweep every scenario
+// against every migration policy. The catalog (knobs, seed conventions,
+// and which BENCH_*.json each feeds) lives in docs/SCENARIOS.md —
+// tools/doc_lint.py enforces that every name returned by
+// scenario_names() is documented there.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "workloads/trace.h"
+
+namespace hermes::workloads {
+
+/// One matrix scenario: a timestamped flow-mod trace, the fault plan to
+/// attach while replaying it (nullopt = perfect substrate), and the
+/// virtual-time horizon the replay should tick through.
+struct Scenario {
+  std::string name;
+  RuleTrace trace;
+  std::optional<fault::FaultPlanConfig> faults;
+  Time horizon = 0;
+};
+
+/// The catalog, in canonical order. Every name here must have an entry
+/// in docs/SCENARIOS.md (doc_lint-enforced).
+std::vector<std::string> scenario_names();
+
+/// Builds scenario `name` (must be one of scenario_names(); asserts
+/// otherwise). Deterministic in (name, seed, scale): identical arguments
+/// reproduce the trace bit-for-bit. `scale` multiplies event counts
+/// (durations shrink with it, rates stay fixed) — the --smoke matrix
+/// uses a reduced scale.
+Scenario make_scenario(std::string_view name, std::uint64_t seed,
+                       double scale = 1.0);
+
+}  // namespace hermes::workloads

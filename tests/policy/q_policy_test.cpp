@@ -1,0 +1,227 @@
+// QPolicy's determinism contract and learning mechanics: same seed and
+// call sequence reproduce the Q-table and every action bit-for-bit (the
+// suite runs under the sanitizer presets, so UB in the hot update path
+// would surface here), frozen mode is pure greedy, the baseline
+// fallback delegates verbatim, and the state encoder bins exactly as
+// documented.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hermes/migration_policy.h"
+#include "policy/q_policy.h"
+
+namespace hermes::policy {
+namespace {
+
+using core::MigrationAction;
+using core::PolicyFeedback;
+using core::PolicyState;
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// A deterministic synthetic episode: occupancy wanders, trend and fault
+// rate derive from the step hash, and the reward loosely tracks
+// occupancy (higher occupancy -> worse latency).
+std::vector<MigrationAction> run_episode(QPolicy& policy, std::uint64_t seed,
+                                         int steps) {
+  std::vector<MigrationAction> actions;
+  int occupancy = 0;
+  for (int i = 0; i < steps; ++i) {
+    std::uint64_t h = mix(seed ^ mix(static_cast<std::uint64_t>(i)));
+    PolicyState state;
+    state.now = i * from_millis(10);
+    state.shadow_capacity = 64;
+    state.shadow_occupancy = occupancy;
+    state.predicted_next = static_cast<double>(h % 32);
+    state.arrival_trend = static_cast<double>(static_cast<int>(h % 7) - 3);
+    state.recent_fault_rate = static_cast<double>((h >> 8) % 4);
+    MigrationAction action = policy.decide(state);
+    actions.push_back(action);
+
+    int arrivals = static_cast<int>((h >> 16) % 24);
+    occupancy = action == MigrationAction::kHold
+                    ? std::min(64, occupancy + arrivals)
+                    : arrivals / 2;
+    PolicyFeedback fb;
+    fb.mean_insert_latency_us = 150.0 + 40.0 * occupancy;
+    fb.violations = occupancy > 48 ? 1.0 : 0.0;
+    policy.feedback(fb);
+  }
+  return actions;
+}
+
+TEST(QPolicy, SameSeedIsBitIdentical) {
+  QPolicyConfig config;
+  config.seed = 99;
+  QPolicy a(config);
+  QPolicy b(config);
+  auto actions_a = run_episode(a, 5, 500);
+  auto actions_b = run_episode(b, 5, 500);
+  EXPECT_EQ(actions_a, actions_b);
+  ASSERT_EQ(a.table().size(), b.table().size());
+  for (std::size_t i = 0; i < a.table().size(); ++i)
+    EXPECT_EQ(a.table()[i], b.table()[i]) << "Q-table cell " << i;
+  EXPECT_EQ(a.decisions(), b.decisions());
+  EXPECT_EQ(a.updates(), b.updates());
+  EXPECT_EQ(a.epsilon(), b.epsilon());
+}
+
+TEST(QPolicy, DifferentSeedsExploreDifferently) {
+  QPolicyConfig config;
+  config.seed = 1;
+  QPolicy a(config);
+  config.seed = 2;
+  QPolicy b(config);
+  EXPECT_NE(run_episode(a, 5, 300), run_episode(b, 5, 300));
+}
+
+TEST(QPolicy, FrozenIsGreedyAndNeverLearns) {
+  QPolicy policy{QPolicyConfig{}};
+  run_episode(policy, 7, 400);
+  policy.set_frozen(true);
+  policy.end_episode();
+
+  std::vector<double> table(policy.table().begin(), policy.table().end());
+  std::uint64_t updates = policy.updates();
+  double epsilon = policy.epsilon();
+
+  auto first = run_episode(policy, 9, 200);
+  policy.end_episode();
+  auto second = run_episode(policy, 9, 200);
+
+  EXPECT_EQ(first, second);  // greedy: no exploration noise
+  EXPECT_EQ(policy.updates(), updates);
+  EXPECT_EQ(policy.epsilon(), epsilon);
+  for (std::size_t i = 0; i < table.size(); ++i)
+    EXPECT_EQ(policy.table()[i], table[i]);
+}
+
+TEST(QPolicy, EndEpisodeSplitsTrajectories) {
+  // After end_episode() the next decide() must not TD-update across the
+  // boundary: run two single-step "episodes" and check no update lands
+  // (the second decide has no predecessor inside its episode).
+  QPolicy policy{QPolicyConfig{}};
+  PolicyState state;
+  state.shadow_capacity = 64;
+  policy.decide(state);
+  PolicyFeedback fb;
+  fb.mean_insert_latency_us = 100;
+  policy.feedback(fb);
+  policy.end_episode();
+  EXPECT_EQ(policy.updates(), 0u);
+  policy.decide(state);  // would have updated without end_episode()
+  EXPECT_EQ(policy.updates(), 0u);
+}
+
+TEST(QPolicy, LearnsWithoutEndEpisode) {
+  QPolicy policy{QPolicyConfig{}};
+  PolicyState state;
+  state.shadow_capacity = 64;
+  policy.decide(state);
+  PolicyFeedback fb;
+  fb.mean_insert_latency_us = 100;
+  policy.feedback(fb);
+  policy.decide(state);
+  EXPECT_EQ(policy.updates(), 1u);
+}
+
+TEST(QPolicy, EncodeBinsAsDocumented) {
+  QPolicyConfig config;
+  config.occupancy_bins = 4;
+  config.trend_unit = 1.0;
+  config.fault_high = 2.0;
+  QPolicy policy(config);
+  EXPECT_EQ(policy.state_count(), 4 * 3 * 3);
+
+  auto state = [](int occ, int cap, double trend, double fault) {
+    PolicyState s;
+    s.shadow_occupancy = occ;
+    s.shadow_capacity = cap;
+    s.arrival_trend = trend;
+    s.recent_fault_rate = fault;
+    return s;
+  };
+
+  // index = (occ_bin * 3 + trend_bin) * 3 + fault_bin
+  EXPECT_EQ(policy.encode(state(0, 64, 0.0, 0.0)), (0 * 3 + 1) * 3 + 0);
+  EXPECT_EQ(policy.encode(state(16, 64, 0.0, 0.0)), (1 * 3 + 1) * 3 + 0);
+  EXPECT_EQ(policy.encode(state(63, 64, 0.0, 0.0)), (3 * 3 + 1) * 3 + 0);
+  EXPECT_EQ(policy.encode(state(64, 64, 0.0, 0.0)), (3 * 3 + 1) * 3 + 0);
+  EXPECT_EQ(policy.encode(state(0, 0, 0.0, 0.0)), (0 * 3 + 1) * 3 + 0);
+
+  EXPECT_EQ(policy.encode(state(0, 64, -1.0, 0.0)), (0 * 3 + 0) * 3 + 0);
+  EXPECT_EQ(policy.encode(state(0, 64, 0.99, 0.0)), (0 * 3 + 1) * 3 + 0);
+  EXPECT_EQ(policy.encode(state(0, 64, 1.0, 0.0)), (0 * 3 + 2) * 3 + 0);
+
+  EXPECT_EQ(policy.encode(state(0, 64, 0.0, 0.5)), (0 * 3 + 1) * 3 + 1);
+  EXPECT_EQ(policy.encode(state(0, 64, 0.0, 2.0)), (0 * 3 + 1) * 3 + 2);
+}
+
+TEST(QPolicy, ExplorationConvergesUnderDecay) {
+  QPolicyConfig config;
+  config.epsilon0 = 0.25;
+  config.epsilon_min = 0.02;
+  config.epsilon_decay = 0.99;
+  QPolicy policy(config);
+  EXPECT_FALSE(policy.exploration_converged());
+  run_episode(policy, 3, 300);
+  EXPECT_TRUE(policy.exploration_converged());
+}
+
+TEST(QPolicy, ActionCountsAccumulate) {
+  QPolicy policy{QPolicyConfig{}};
+  auto actions = run_episode(policy, 13, 200);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : policy.action_counts()) total += c;
+  EXPECT_EQ(total, actions.size());
+  EXPECT_EQ(policy.decisions(), actions.size());
+}
+
+TEST(QPolicy, OptimisticPriorDrainsUnvisitedStates) {
+  // A frozen, untrained policy must resolve every state to
+  // migrate-large (the safe default), not hold.
+  QPolicy policy{QPolicyConfig{}};
+  policy.set_frozen(true);
+  PolicyState state;
+  state.shadow_capacity = 64;
+  state.shadow_occupancy = 40;
+  EXPECT_EQ(policy.decide(state), MigrationAction::kMigrateLarge);
+}
+
+TEST(QPolicy, BaselineFallbackDelegatesVerbatim) {
+  QPolicyConfig config;
+  QPolicy policy(config);
+  run_episode(policy, 21, 300);
+  policy.set_frozen(true);
+  auto baseline =
+      std::make_shared<core::ThresholdMigrationPolicy>(-1.0, 0.5);
+  policy.set_baseline(baseline);
+  ASSERT_NE(policy.baseline(), nullptr);
+
+  std::uint64_t mismatches = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t h = mix(static_cast<std::uint64_t>(i));
+    PolicyState state;
+    state.shadow_capacity = 64;
+    state.shadow_occupancy = static_cast<int>(h % 64);
+    state.predicted_next = static_cast<double>((h >> 8) % 64);
+    MigrationAction expected = baseline->decide(state);
+    if (policy.decide(state) != expected) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u);
+
+  policy.set_baseline(nullptr);
+  EXPECT_EQ(policy.baseline(), nullptr);
+}
+
+}  // namespace
+}  // namespace hermes::policy

@@ -15,6 +15,16 @@ Checks (all of them; exit 1 if any reference is broken):
      (the `bench_compare.py bench/baselines/...` invocations in
      .github/workflows/ci.yml) appears literally in EXPERIMENTS.md, so
      the gated numbers stay explained.
+  4. Every scenario name in bench/bench_matrix.cpp's kScenarioNames
+     catalog appears in docs/SCENARIOS.md -- adding a scenario to the
+     matrix without documenting it is a lint failure.
+  5. Every trace-event kind returned by kind_name() in
+     src/obs/metrics.cpp appears in README.md and docs/METRICS.md (this
+     rule would have caught README's trace-kind list silently going
+     stale when update_phase/cache_op were added).
+
+Checks 1-3 cover README.md / EXPERIMENTS.md / DESIGN.md plus every
+Markdown file under docs/, recursively.
 
 The point is cheap honesty: docs routinely outlive renames, and a stale
 `bench_foo` or dead path is invisible until a reader trips on it. This
@@ -47,11 +57,25 @@ PATH_TOKEN = re.compile(
 # CI-gated baselines: the files bench_compare.py is pointed at.
 GATED_BASELINE = re.compile(r"bench_compare\.py\s+(bench/baselines/\S+\.json)")
 
+# The scenario catalog literal in bench/bench_matrix.cpp.
+SCENARIO_BLOCK = re.compile(r"kScenarioNames\[\][^;]*;")
+QUOTED_NAME = re.compile(r'"([a-z0-9_]+)"')
+
+# kind_name() switch cases in src/obs/metrics.cpp: the full set of
+# trace-event kinds the obs layer can emit.
+KIND_RETURN = re.compile(r'case\s+EventKind::\w+:\s*return\s+"([a-z0-9_]+)"')
+
 
 def lint(root: Path) -> list[str]:
     errors = []
     texts = {}
-    for name in DOCS:
+    names = list(DOCS)
+    docs_dir = root / "docs"
+    if docs_dir.is_dir():
+        names += sorted(
+            str(p.relative_to(root)) for p in docs_dir.rglob("*.md")
+        )
+    for name in names:
         path = root / name
         if not path.is_file():
             errors.append(f"{name}: document missing")
@@ -94,6 +118,45 @@ def lint(root: Path) -> list[str]:
                         f"EXPERIMENTS.md: gated metric `{key}` ({rel}) "
                         "is never mentioned"
                     )
+
+    # 4. Scenario catalog: every matrix scenario is documented.
+    matrix = root / "bench" / "bench_matrix.cpp"
+    scenarios_doc = texts.get("docs/SCENARIOS.md", "")
+    if matrix.is_file():
+        block = SCENARIO_BLOCK.search(matrix.read_text(encoding="utf-8"))
+        if not block:
+            errors.append("bench/bench_matrix.cpp: kScenarioNames not found")
+        else:
+            scenario_names = QUOTED_NAME.findall(block.group(0))
+            if not scenario_names:
+                errors.append(
+                    "bench/bench_matrix.cpp: kScenarioNames is empty"
+                )
+            if not scenarios_doc:
+                errors.append("docs/SCENARIOS.md: document missing")
+            for scenario in scenario_names:
+                if scenario not in scenarios_doc:
+                    errors.append(
+                        f"docs/SCENARIOS.md: scenario `{scenario}` "
+                        "(bench/bench_matrix.cpp) is never mentioned"
+                    )
+
+    # 5. Trace-event kinds: the kind_name() switch is the source of
+    # truth; README's overview list and the METRICS.md catalog must
+    # mention every kind it can return.
+    metrics_cpp = root / "src" / "obs" / "metrics.cpp"
+    if metrics_cpp.is_file():
+        kinds = KIND_RETURN.findall(metrics_cpp.read_text(encoding="utf-8"))
+        if not kinds:
+            errors.append("src/obs/metrics.cpp: no kind_name() cases found")
+        for doc in ("README.md", "docs/METRICS.md"):
+            text = texts.get(doc, "")
+            for kind in kinds:
+                if f"`{kind}`" not in text:
+                    errors.append(
+                        f"{doc}: trace-event kind `{kind}` "
+                        "(src/obs/metrics.cpp) is never mentioned"
+                    )
     return errors
 
 
@@ -105,7 +168,9 @@ def main(argv: list[str]) -> int:
     if errors:
         print(f"doc_lint: {len(errors)} broken reference(s)", file=sys.stderr)
         return 1
-    print(f"doc_lint: OK ({', '.join(DOCS)})")
+    docs_dir = root / "docs"
+    tree = sorted(docs_dir.rglob("*.md")) if docs_dir.is_dir() else []
+    print(f"doc_lint: OK ({', '.join(DOCS)} + {len(tree)} under docs/)")
     return 0
 
 
